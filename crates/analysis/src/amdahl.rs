@@ -1,0 +1,122 @@
+//! Amdahl's I/O balance metric (§1, §5.1).
+//!
+//! §1: "According to Amdahl's metric, each MIPS (million instructions
+//! per second) should be accompanied by one Mbit per second of I/O."
+//! §5.1 applies it to data-swapping: "If each data point consists of 3
+//! words and requires 200 floating-point operations, there must be 24
+//! bytes of I/O for every 200 FLOPS (this is quite close to Amdahl's
+//! metric, which would require 200 bits, or 25 bytes of I/O for those
+//! 200 FLOPS)."
+//!
+//! [`AmdahlReport`] places a measured application on that scale: its
+//! achieved bytes-per-instruction against the 1 bit/instruction balance
+//! point of a machine with the given MIPS rating.
+
+use crate::summary::AppSummary;
+use serde::{Deserialize, Serialize};
+
+/// A machine's nominal instruction rate for the balance computation. The
+/// paper's examples use a 200 MFLOPS processor; a Y-MP CPU is commonly
+/// rated around 160–200 sustained.
+pub const YMP_DEFAULT_MIPS: f64 = 200.0;
+
+/// One application's position on Amdahl's balance scale.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AmdahlReport {
+    /// MIPS rating used.
+    pub mips: f64,
+    /// The balance point: MB/s of I/O Amdahl prescribes for that rating
+    /// (1 Mbit/s per MIPS = mips / 8 MB/s).
+    pub balance_mb_per_sec: f64,
+    /// The application's achieved MB per CPU second.
+    pub achieved_mb_per_sec: f64,
+    /// achieved / balance: 1.0 = perfectly balanced, <1 = compute-heavy,
+    /// >1 = I/O-heavy.
+    pub balance_ratio: f64,
+}
+
+impl AmdahlReport {
+    /// Compute for a summarized application at the given MIPS rating.
+    pub fn of(summary: &AppSummary, mips: f64) -> AmdahlReport {
+        assert!(mips > 0.0, "MIPS rating must be positive");
+        // 1 Mbit/s per MIPS; 8 bits per byte; the paper's MB are 2^20 but
+        // Amdahl's Mbit is decimal — use the paper's own §5.1 rounding
+        // (200 bits ≈ 25 bytes per 200 FLOPs → mips/8).
+        let balance = mips / 8.0;
+        let achieved = summary.mb_per_sec;
+        AmdahlReport {
+            mips,
+            balance_mb_per_sec: balance,
+            achieved_mb_per_sec: achieved,
+            balance_ratio: if balance > 0.0 { achieved / balance } else { 0.0 },
+        }
+    }
+
+    /// True when the application demands at least the full Amdahl
+    /// balance — the memory-limited staging programs of §5.1.
+    pub fn is_io_bound_by_amdahl(&self) -> bool {
+        self.balance_ratio >= 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotrace::{Direction, IoEvent, Trace};
+    use sim_core::units::MB;
+    use sim_core::{SimDuration, SimTime};
+
+    fn summary_with_rate(mb_per_cpu_sec: f64) -> AppSummary {
+        // One CPU second of processTime, the requested number of MB.
+        let mut t = Trace::new();
+        let bytes = (mb_per_cpu_sec * MB as f64) as u64;
+        t.push(IoEvent::logical(
+            Direction::Read,
+            1,
+            1,
+            0,
+            bytes,
+            SimTime::ZERO,
+            SimDuration::from_secs(1),
+        ));
+        AppSummary::from_trace(&t)
+    }
+
+    #[test]
+    fn balance_point_is_mips_over_eight() {
+        let r = AmdahlReport::of(&summary_with_rate(25.0), 200.0);
+        assert!((r.balance_mb_per_sec - 25.0).abs() < 1e-9);
+        assert!((r.balance_ratio - 1.0).abs() < 0.01);
+        assert!(r.is_io_bound_by_amdahl());
+    }
+
+    #[test]
+    fn compute_heavy_app_scores_below_one() {
+        // gcm-like: 0.14 MB/s against a 25 MB/s balance point.
+        let r = AmdahlReport::of(&summary_with_rate(0.14), 200.0);
+        assert!(r.balance_ratio < 0.01);
+        assert!(!r.is_io_bound_by_amdahl());
+    }
+
+    #[test]
+    fn io_heavy_app_scores_above_one() {
+        // forma-like: 73.6 MB/s.
+        let r = AmdahlReport::of(&summary_with_rate(73.6), 200.0);
+        assert!(r.balance_ratio > 2.5);
+    }
+
+    #[test]
+    fn paper_swap_arithmetic_checks_out() {
+        // §5.1: 24 bytes per 200 FLOPs on a 200 MFLOPS processor is
+        // "almost 25 MB/sec" — within 4 % of the balance point.
+        let implied_rate = 24.0 * 200.0 / 200.0; // bytes per op × Mops = MB/s
+        let r = AmdahlReport::of(&summary_with_rate(implied_rate), 200.0);
+        assert!((r.balance_ratio - 0.96).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "MIPS rating must be positive")]
+    fn zero_mips_rejected() {
+        AmdahlReport::of(&summary_with_rate(1.0), 0.0);
+    }
+}

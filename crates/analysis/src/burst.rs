@@ -1,0 +1,83 @@
+//! Burstiness metrics over a binned demand series.
+//!
+//! "I/O was bursty, as expected, but the bursts came in cycles" (§5.3).
+//! Burstiness here is quantified three ways: peak-to-mean ratio of the
+//! binned rates, coefficient of variation, and the fraction of bins with
+//! no I/O at all (the compute gaps).
+
+use serde::{Deserialize, Serialize};
+use sim_core::RateSeries;
+
+/// Burstiness summary of one rate series.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Burstiness {
+    /// Mean rate over all bins (per second units of the series).
+    pub mean: f64,
+    /// Highest single-bin rate.
+    pub peak: f64,
+    /// Peak divided by mean (1.0 = perfectly smooth).
+    pub peak_to_mean: f64,
+    /// Coefficient of variation of the bin rates.
+    pub cv: f64,
+    /// Fraction of bins with zero traffic.
+    pub idle_fraction: f64,
+}
+
+impl Burstiness {
+    /// Compute from a rate series.
+    pub fn of(series: &RateSeries) -> Burstiness {
+        let rates = series.rates_per_second();
+        if rates.is_empty() {
+            return Burstiness { mean: 0.0, peak: 0.0, peak_to_mean: 0.0, cv: 0.0, idle_fraction: 0.0 };
+        }
+        let stats = series.stats();
+        let idle = rates.iter().filter(|&&r| r == 0.0).count();
+        let mean = stats.mean();
+        let peak = stats.max().unwrap_or(0.0);
+        Burstiness {
+            mean,
+            peak,
+            peak_to_mean: if mean > 0.0 { peak / mean } else { 0.0 },
+            cv: stats.cv(),
+            idle_fraction: idle as f64 / rates.len() as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::{SimDuration, SimTime};
+
+    fn series(values: &[f64]) -> RateSeries {
+        let mut s = RateSeries::new(SimDuration::from_secs(1));
+        for (i, &v) in values.iter().enumerate() {
+            s.add(SimTime::from_secs(i as u64), v);
+        }
+        s
+    }
+
+    #[test]
+    fn smooth_series_is_not_bursty() {
+        let b = Burstiness::of(&series(&[10.0, 10.0, 10.0, 10.0]));
+        assert!((b.peak_to_mean - 1.0).abs() < 1e-12);
+        assert_eq!(b.cv, 0.0);
+        assert_eq!(b.idle_fraction, 0.0);
+    }
+
+    #[test]
+    fn spiky_series_is_bursty() {
+        let b = Burstiness::of(&series(&[0.0, 0.0, 0.0, 100.0]));
+        assert_eq!(b.peak, 100.0);
+        assert!((b.peak_to_mean - 4.0).abs() < 1e-12);
+        assert!((b.idle_fraction - 0.75).abs() < 1e-12);
+        assert!(b.cv > 1.0);
+    }
+
+    #[test]
+    fn empty_series_is_benign() {
+        let b = Burstiness::of(&RateSeries::per_second());
+        assert_eq!(b.mean, 0.0);
+        assert_eq!(b.peak_to_mean, 0.0);
+    }
+}

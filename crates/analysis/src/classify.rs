@@ -1,0 +1,183 @@
+//! The required / checkpoint / data-swapping taxonomy (§5.1).
+//!
+//! The paper divides application I/O into three types:
+//!
+//! * **Required** (compulsory): reading initial state, writing final
+//!   results — once each.
+//! * **Checkpoint**: periodic dumps of program state for failure
+//!   recovery — a write-only file rewritten from the top repeatedly.
+//! * **Data swapping**: staging an out-of-memory array through the file
+//!   system — files both read and written, every cycle.
+//!
+//! The classifier works per file from observable behavior:
+//! a file both read and written is a swap file; a write-only file
+//! overwritten from offset zero more than once is a checkpoint file; the
+//! rest (read-only inputs, written-once outputs) is required I/O.
+
+use iotrace::{Direction, Trace};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The three I/O types of §5.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IoClass {
+    /// Compulsory initial reads / final writes.
+    Required,
+    /// Periodic state dumps.
+    Checkpoint,
+    /// Memory-limitation staging traffic.
+    DataSwap,
+}
+
+/// Per-class byte and request tallies.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ClassifiedIo {
+    /// Bytes per class.
+    pub bytes: HashMap<IoClass, u64>,
+    /// Requests per class.
+    pub requests: HashMap<IoClass, u64>,
+    /// The class assigned to each file.
+    pub file_class: HashMap<u32, IoClass>,
+}
+
+impl ClassifiedIo {
+    /// Bytes attributed to `class`.
+    pub fn bytes_of(&self, class: IoClass) -> u64 {
+        self.bytes.get(&class).copied().unwrap_or(0)
+    }
+
+    /// Fraction of all bytes attributed to `class`.
+    pub fn fraction_of(&self, class: IoClass) -> f64 {
+        let total: u64 = self.bytes.values().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.bytes_of(class) as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct FileObs {
+    reads: u64,
+    writes: u64,
+    read_bytes: u64,
+    write_bytes: u64,
+    /// Times the write cursor returned to offset zero after progress.
+    write_restarts: u64,
+    last_write_end: Option<u64>,
+}
+
+/// Classify every file and request in the trace.
+pub fn classify_trace(trace: &Trace) -> ClassifiedIo {
+    let mut obs: HashMap<u32, FileObs> = HashMap::new();
+    for e in trace.events() {
+        let o = obs.entry(e.file_id).or_default();
+        match e.dir {
+            Direction::Read => {
+                o.reads += 1;
+                o.read_bytes += e.length;
+            }
+            Direction::Write => {
+                o.writes += 1;
+                o.write_bytes += e.length;
+                if e.offset == 0 {
+                    if let Some(end) = o.last_write_end {
+                        if end > 0 {
+                            o.write_restarts += 1;
+                        }
+                    }
+                }
+                o.last_write_end = Some(e.end_offset());
+            }
+        }
+    }
+    let mut out = ClassifiedIo::default();
+    for (&file, o) in &obs {
+        let class = if o.reads > 0 && o.writes > 0 {
+            IoClass::DataSwap
+        } else if o.writes > 0 && o.write_restarts >= 1 {
+            IoClass::Checkpoint
+        } else {
+            IoClass::Required
+        };
+        out.file_class.insert(file, class);
+        *out.bytes.entry(class).or_insert(0) += o.read_bytes + o.write_bytes;
+        *out.requests.entry(class).or_insert(0) += o.reads + o.writes;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotrace::IoEvent;
+    use sim_core::units::MB;
+    use sim_core::{SimDuration, SimTime};
+
+    fn ev(dir: Direction, file: u32, offset: u64, len: u64, i: u64) -> IoEvent {
+        IoEvent::logical(dir, 1, file, offset, len, SimTime::from_ticks(i * 100), SimDuration::ZERO)
+    }
+
+    #[test]
+    fn compulsory_pattern_is_required() {
+        // Read input once, write output once: gcm/upw shape.
+        let mut events: Vec<_> = (0..5).map(|i| ev(Direction::Read, 1, i * MB, MB, i)).collect();
+        events.extend((0..5).map(|i| ev(Direction::Write, 2, i * MB, MB, 10 + i)));
+        let c = classify_trace(&Trace::from_events(events));
+        assert_eq!(c.file_class[&1], IoClass::Required);
+        assert_eq!(c.file_class[&2], IoClass::Required);
+        assert!((c.fraction_of(IoClass::Required) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overwritten_write_only_file_is_checkpoint() {
+        // Two full dumps to the same file, restarting at zero.
+        let mut events = Vec::new();
+        for round in 0..3u64 {
+            for i in 0..4u64 {
+                events.push(ev(Direction::Write, 7, i * MB, MB, round * 10 + i));
+            }
+        }
+        let c = classify_trace(&Trace::from_events(events));
+        assert_eq!(c.file_class[&7], IoClass::Checkpoint);
+        assert_eq!(c.bytes_of(IoClass::Checkpoint), 12 * MB);
+    }
+
+    #[test]
+    fn read_write_file_is_data_swap() {
+        let events = vec![
+            ev(Direction::Write, 3, 0, MB, 0),
+            ev(Direction::Read, 3, 0, MB, 1),
+            ev(Direction::Read, 3, 0, MB, 2),
+        ];
+        let c = classify_trace(&Trace::from_events(events));
+        assert_eq!(c.file_class[&3], IoClass::DataSwap);
+        assert_eq!(*c.requests.get(&IoClass::DataSwap).unwrap(), 3);
+    }
+
+    #[test]
+    fn mixed_application_splits_by_file() {
+        let events = vec![
+            // Required input file 1.
+            ev(Direction::Read, 1, 0, MB, 0),
+            // Swap file 2.
+            ev(Direction::Write, 2, 0, MB, 1),
+            ev(Direction::Read, 2, 0, MB, 2),
+            // Checkpoint file 3 (two dumps).
+            ev(Direction::Write, 3, 0, MB, 3),
+            ev(Direction::Write, 3, 0, MB, 4),
+        ];
+        let c = classify_trace(&Trace::from_events(events));
+        assert_eq!(c.file_class[&1], IoClass::Required);
+        assert_eq!(c.file_class[&2], IoClass::DataSwap);
+        assert_eq!(c.file_class[&3], IoClass::Checkpoint);
+    }
+
+    #[test]
+    fn empty_trace_is_benign() {
+        let c = classify_trace(&Trace::new());
+        assert_eq!(c.fraction_of(IoClass::Required), 0.0);
+        assert!(c.file_class.is_empty());
+    }
+}

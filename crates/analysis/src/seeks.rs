@@ -1,0 +1,171 @@
+//! Device-level seek analysis for physical traces.
+//!
+//! The paper's disk model prices every access by "how 'close' the I/O
+//! was to the previous I/O" (§6.1), and its venus discussion blames "the
+//! seeks required by interleaving accesses to six different data files"
+//! (§6.2). Given a mixed logical/physical trace (from `fs-map`), this
+//! module measures exactly that: per-disk inter-access distances, the
+//! fraction of device accesses that are strictly sequential, and a
+//! histogram of seek distances.
+
+use iotrace::{Scope, Trace};
+use serde::{Deserialize, Serialize};
+use sim_core::Histogram;
+use std::collections::HashMap;
+
+/// Seek behavior of one trace's physical records.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeekReport {
+    /// Physical accesses examined.
+    pub accesses: u64,
+    /// Accesses starting exactly where the same disk's previous access
+    /// ended (no positioning cost at all).
+    pub sequential: u64,
+    /// Per-disk sequential fractions.
+    pub per_disk: HashMap<u32, f64>,
+    /// Histogram of nonzero seek distances in bytes (power-of-two
+    /// buckets from 4 KB to 1 GB).
+    pub distance_histogram: Histogram,
+    /// Mean nonzero seek distance in bytes.
+    pub mean_seek_distance: f64,
+}
+
+impl SeekReport {
+    /// Overall fraction of seek-free accesses.
+    pub fn sequential_fraction(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.sequential as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Analyze the physical records of `trace`. Logical records and
+/// comments are ignored; an empty report results when the trace carries
+/// no physical records (e.g. before `fs-map` translation).
+pub fn analyze_seeks(trace: &Trace) -> SeekReport {
+    let mut heads: HashMap<u32, u64> = HashMap::new();
+    let mut per_disk: HashMap<u32, (u64, u64)> = HashMap::new();
+    let mut hist = Histogram::pow2(4096, 1 << 30);
+    let mut total_dist = 0u64;
+    let mut nonzero = 0u64;
+    let mut report_accesses = 0u64;
+    let mut report_sequential = 0u64;
+
+    for e in trace.events().filter(|e| e.scope == Scope::Physical) {
+        report_accesses += 1;
+        let tally = per_disk.entry(e.file_id).or_insert((0, 0));
+        tally.1 += 1;
+        match heads.get(&e.file_id) {
+            Some(&head) if head == e.offset => {
+                report_sequential += 1;
+                tally.0 += 1;
+            }
+            Some(&head) => {
+                let dist = head.abs_diff(e.offset);
+                hist.record(dist as f64);
+                total_dist += dist;
+                nonzero += 1;
+            }
+            None => {
+                // First access to this disk: counted as a seek from 0
+                // only if it lands away from 0.
+                if e.offset != 0 {
+                    hist.record(e.offset as f64);
+                    total_dist += e.offset;
+                    nonzero += 1;
+                } else {
+                    report_sequential += 1;
+                    tally.0 += 1;
+                }
+            }
+        }
+        heads.insert(e.file_id, e.end_offset());
+    }
+    SeekReport {
+        accesses: report_accesses,
+        sequential: report_sequential,
+        per_disk: per_disk
+            .into_iter()
+            .map(|(d, (s, t))| (d, if t == 0 { 0.0 } else { s as f64 / t as f64 }))
+            .collect(),
+        distance_histogram: hist,
+        mean_seek_distance: if nonzero == 0 { 0.0 } else { total_dist as f64 / nonzero as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotrace::{Direction, IoEvent};
+    use sim_core::{SimDuration, SimTime};
+
+    fn phys(disk: u32, offset: u64, len: u64, i: u64) -> IoEvent {
+        let mut e = IoEvent::logical(
+            Direction::Read,
+            1,
+            disk,
+            offset,
+            len,
+            SimTime::from_ticks(i * 100),
+            SimDuration::ZERO,
+        );
+        e.scope = Scope::Physical;
+        e
+    }
+
+    #[test]
+    fn fully_sequential_stream_has_no_seeks() {
+        let t = Trace::from_events((0..20).map(|i| phys(0, i * 4096, 4096, i)).collect());
+        let r = analyze_seeks(&t);
+        assert_eq!(r.accesses, 20);
+        assert_eq!(r.sequential_fraction(), 1.0);
+        assert_eq!(r.mean_seek_distance, 0.0);
+    }
+
+    #[test]
+    fn interleaved_disks_stay_sequential_per_disk() {
+        // Round-robin across two disks, each sequential in itself — the
+        // reason the per-disk head model matters.
+        let mut events = Vec::new();
+        for i in 0..20u64 {
+            events.push(phys((i % 2) as u32, (i / 2) * 4096, 4096, i));
+        }
+        let r = analyze_seeks(&Trace::from_events(events));
+        assert_eq!(r.sequential_fraction(), 1.0);
+        assert_eq!(r.per_disk.len(), 2);
+    }
+
+    #[test]
+    fn venus_style_interleaving_on_one_disk_thrashes() {
+        // Two files far apart on a single disk, accessed alternately:
+        // every access seeks — §6.2's interleaving penalty.
+        let mut events = Vec::new();
+        for i in 0..20u64 {
+            let base = if i % 2 == 0 { 0 } else { 512 * 1024 * 1024 };
+            events.push(phys(0, base + (i / 2) * 4096, 4096, i));
+        }
+        let r = analyze_seeks(&Trace::from_events(events));
+        assert!(r.sequential_fraction() < 0.1, "got {}", r.sequential_fraction());
+        assert!(r.mean_seek_distance > 100.0 * 1024.0 * 1024.0);
+        assert!(r.distance_histogram.total() >= 19);
+    }
+
+    #[test]
+    fn logical_records_are_ignored() {
+        let mut t = Trace::new();
+        t.push(IoEvent::logical(
+            Direction::Read,
+            1,
+            1,
+            0,
+            4096,
+            SimTime::ZERO,
+            SimDuration::ZERO,
+        ));
+        let r = analyze_seeks(&t);
+        assert_eq!(r.accesses, 0);
+        assert_eq!(r.sequential_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Sequentiality and request-size constancy (§5.2).
+//!
+//! The paper's central characterization: supercomputer file access is
+//! "highly sequential and very regular". We measure, per file and
+//! overall, the fraction of consecutive same-file accesses that continue
+//! exactly where the previous one ended, and the fraction of requests
+//! matching the file's dominant request size.
+
+use iotrace::Trace;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Sequentiality metrics for one trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SequentialityReport {
+    /// Same-file consecutive access pairs examined.
+    pub pairs: u64,
+    /// Pairs where the later access starts exactly at the earlier one's
+    /// end.
+    pub sequential_pairs: u64,
+    /// Pairs where both accesses have the same length.
+    pub same_size_pairs: u64,
+    /// Requests whose size equals their file's modal request size.
+    pub modal_size_requests: u64,
+    /// Total requests.
+    pub requests: u64,
+    /// Per-file sequential fraction, keyed by file id.
+    pub per_file: HashMap<u32, f64>,
+}
+
+impl SequentialityReport {
+    /// Fraction of same-file pairs that are strictly sequential.
+    pub fn sequential_fraction(&self) -> f64 {
+        if self.pairs == 0 {
+            0.0
+        } else {
+            self.sequential_pairs as f64 / self.pairs as f64
+        }
+    }
+
+    /// Fraction of same-file pairs with equal request sizes.
+    pub fn same_size_fraction(&self) -> f64 {
+        if self.pairs == 0 {
+            0.0
+        } else {
+            self.same_size_pairs as f64 / self.pairs as f64
+        }
+    }
+
+    /// Fraction of all requests at their file's modal size — §5.2's
+    /// "typical I/O request size which stayed constant".
+    pub fn modal_size_fraction(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.modal_size_requests as f64 / self.requests as f64
+        }
+    }
+}
+
+/// Analyze a trace's sequentiality.
+pub fn analyze(trace: &Trace) -> SequentialityReport {
+    // Per (process, file): previous end offset and length; per-file pair
+    // tallies; per-file size frequency.
+    let mut prev: HashMap<(u32, u32), (u64, u64)> = HashMap::new();
+    let mut per_file_pairs: HashMap<u32, (u64, u64)> = HashMap::new();
+    let mut size_freq: HashMap<(u32, iotrace::Direction), HashMap<u64, u64>> = HashMap::new();
+    let mut report = SequentialityReport {
+        pairs: 0,
+        sequential_pairs: 0,
+        same_size_pairs: 0,
+        modal_size_requests: 0,
+        requests: 0,
+        per_file: HashMap::new(),
+    };
+    for e in trace.events() {
+        report.requests += 1;
+        *size_freq
+            .entry((e.file_id, e.dir))
+            .or_default()
+            .entry(e.length)
+            .or_insert(0) += 1;
+        let key = (e.process_id, e.file_id);
+        if let Some(&(end, len)) = prev.get(&key) {
+            report.pairs += 1;
+            let tally = per_file_pairs.entry(e.file_id).or_insert((0, 0));
+            tally.1 += 1;
+            if e.offset == end {
+                report.sequential_pairs += 1;
+                tally.0 += 1;
+            }
+            if e.length == len {
+                report.same_size_pairs += 1;
+            }
+        }
+        prev.insert(key, (e.end_offset(), e.length));
+    }
+    for (file, (seq, total)) in per_file_pairs {
+        report.per_file.insert(file, if total == 0 { 0.0 } else { seq as f64 / total as f64 });
+    }
+    // Modal-size tally, per (file, direction): the paper's "typical
+    // request size" is a per-program constant but reads and writes may
+    // use different sizes (Table 2 reports them separately).
+    let modal: HashMap<(u32, iotrace::Direction), u64> = size_freq
+        .iter()
+        .map(|(&key, sizes)| {
+            let (&size, _) = sizes.iter().max_by_key(|&(s, c)| (*c, *s)).expect("nonempty");
+            (key, size)
+        })
+        .collect();
+    for e in trace.events() {
+        if modal.get(&(e.file_id, e.dir)) == Some(&e.length) {
+            report.modal_size_requests += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotrace::{Direction, IoEvent};
+    use sim_core::{SimDuration, SimTime};
+
+    fn ev(file: u32, offset: u64, len: u64, i: u64) -> IoEvent {
+        IoEvent::logical(
+            Direction::Read,
+            1,
+            file,
+            offset,
+            len,
+            SimTime::from_ticks(i * 100),
+            SimDuration::ZERO,
+        )
+    }
+
+    #[test]
+    fn fully_sequential_trace_scores_one() {
+        let t = Trace::from_events((0..10).map(|i| ev(1, i * 512, 512, i)).collect());
+        let r = analyze(&t);
+        assert_eq!(r.sequential_fraction(), 1.0);
+        assert_eq!(r.same_size_fraction(), 1.0);
+        assert_eq!(r.modal_size_fraction(), 1.0);
+        assert_eq!(r.per_file[&1], 1.0);
+    }
+
+    #[test]
+    fn random_trace_scores_low() {
+        let t = Trace::from_events(
+            (0..10).map(|i| ev(1, (i * 7919 + 13) % 100_000, 512, i)).collect(),
+        );
+        let r = analyze(&t);
+        assert!(r.sequential_fraction() < 0.2);
+    }
+
+    #[test]
+    fn interleaved_files_tracked_independently() {
+        // Alternating between two files, each sequential within itself.
+        let mut events = Vec::new();
+        for i in 0..10u64 {
+            events.push(ev(1 + (i % 2) as u32, (i / 2) * 512, 512, i));
+        }
+        let r = analyze(&Trace::from_events(events));
+        assert_eq!(r.sequential_fraction(), 1.0, "per-file streams are sequential");
+    }
+
+    #[test]
+    fn modal_size_tolerates_tail_chunks() {
+        // 9 requests of 4096 and one trailing 100-byte request.
+        let mut events: Vec<_> = (0..9).map(|i| ev(1, i * 4096, 4096, i)).collect();
+        events.push(ev(1, 9 * 4096, 100, 9));
+        let r = analyze(&Trace::from_events(events));
+        assert!((r.modal_size_fraction() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_is_benign() {
+        let r = analyze(&Trace::new());
+        assert_eq!(r.sequential_fraction(), 0.0);
+        assert_eq!(r.modal_size_fraction(), 0.0);
+    }
+
+    #[test]
+    fn per_process_prev_state_is_separate() {
+        // Two processes interleave on one file; each is sequential in its
+        // own stream.
+        let mut events = Vec::new();
+        for i in 0..10u64 {
+            let mut e = ev(1, (i / 2) * 512, 512, i);
+            e.process_id = 1 + (i % 2) as u32;
+            events.push(e);
+        }
+        let r = analyze(&Trace::from_events(events));
+        assert_eq!(r.sequential_fraction(), 1.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Per-application totals and rates: the machinery behind Tables 1 and 2.
+//!
+//! All rates are **per second of process CPU time**, as the paper
+//! specifies ("These numbers are per second of CPU time used by the
+//! process", §5.2) — never per wall-clock second.
+
+use iotrace::{Direction, Trace};
+use serde::{Deserialize, Serialize};
+use sim_core::units::MB;
+use std::collections::HashMap;
+
+/// Totals and rates for one direction (the rows of Table 2 split these
+/// out).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct DirectionSummary {
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Requests issued.
+    pub count: u64,
+    /// MB per CPU second.
+    pub mb_per_sec: f64,
+    /// Requests per CPU second.
+    pub ios_per_sec: f64,
+    /// Average request size in KB.
+    pub avg_io_kb: f64,
+}
+
+/// The Table 1 + Table 2 row for one application trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppSummary {
+    /// CPU seconds consumed (sum of `processTime` deltas, §4.1).
+    pub cpu_secs: f64,
+    /// Wall-clock span of the trace, seconds.
+    pub wall_secs: f64,
+    /// Total data-set size in MB: per-file maximum extent touched, summed
+    /// (the paper's "sum of the sizes of all the files the program
+    /// accessed").
+    pub data_mb: f64,
+    /// Total I/O in MB (read + written).
+    pub total_io_mb: f64,
+    /// Total request count.
+    pub num_ios: u64,
+    /// Average request size in KB.
+    pub avg_io_kb: f64,
+    /// Total MB per CPU second.
+    pub mb_per_sec: f64,
+    /// Total requests per CPU second.
+    pub ios_per_sec: f64,
+    /// Read-side totals and rates.
+    pub reads: DirectionSummary,
+    /// Write-side totals and rates.
+    pub writes: DirectionSummary,
+    /// Read/write data ratio (bytes read / bytes written; infinity when
+    /// nothing was written).
+    pub rw_data_ratio: f64,
+    /// Number of distinct files touched.
+    pub files_touched: usize,
+}
+
+impl AppSummary {
+    /// Compute the summary for a trace.
+    pub fn from_trace(trace: &Trace) -> AppSummary {
+        let mut cpu_ticks: u64 = 0;
+        let mut read = DirectionSummary::default();
+        let mut write = DirectionSummary::default();
+        let mut extents: HashMap<u32, u64> = HashMap::new();
+        for e in trace.events() {
+            cpu_ticks += e.process_time.ticks();
+            let d = if e.dir == Direction::Read { &mut read } else { &mut write };
+            d.bytes += e.length;
+            d.count += 1;
+            let ext = extents.entry(e.file_id).or_insert(0);
+            *ext = (*ext).max(e.end_offset());
+        }
+        let cpu_secs = cpu_ticks as f64 / sim_core::TICKS_PER_SECOND as f64;
+        let wall_secs = match (trace.first_start(), trace.last_end()) {
+            (Some(a), Some(b)) => b.saturating_since(a).as_secs_f64(),
+            _ => 0.0,
+        };
+        let finish = |d: &mut DirectionSummary| {
+            if cpu_secs > 0.0 {
+                d.mb_per_sec = d.bytes as f64 / MB as f64 / cpu_secs;
+                d.ios_per_sec = d.count as f64 / cpu_secs;
+            }
+            if d.count > 0 {
+                d.avg_io_kb = d.bytes as f64 / 1024.0 / d.count as f64;
+            }
+        };
+        finish(&mut read);
+        finish(&mut write);
+        let total_bytes = read.bytes + write.bytes;
+        let num_ios = read.count + write.count;
+        AppSummary {
+            cpu_secs,
+            wall_secs,
+            data_mb: extents.values().sum::<u64>() as f64 / MB as f64,
+            total_io_mb: total_bytes as f64 / MB as f64,
+            num_ios,
+            avg_io_kb: if num_ios > 0 {
+                total_bytes as f64 / 1024.0 / num_ios as f64
+            } else {
+                0.0
+            },
+            mb_per_sec: if cpu_secs > 0.0 {
+                total_bytes as f64 / MB as f64 / cpu_secs
+            } else {
+                0.0
+            },
+            ios_per_sec: if cpu_secs > 0.0 { num_ios as f64 / cpu_secs } else { 0.0 },
+            reads: read,
+            writes: write,
+            rw_data_ratio: if write.bytes > 0 {
+                read.bytes as f64 / write.bytes as f64
+            } else if read.bytes > 0 {
+                f64::INFINITY
+            } else {
+                0.0
+            },
+            files_touched: extents.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotrace::IoEvent;
+    use sim_core::{SimDuration, SimTime};
+
+    fn ev(dir: Direction, file: u32, offset: u64, len: u64, start: u64, cpu: u64) -> IoEvent {
+        let mut e = IoEvent::logical(
+            dir,
+            1,
+            file,
+            offset,
+            len,
+            SimTime::from_ticks(start),
+            SimDuration::from_ticks(cpu),
+        );
+        e.completion = SimDuration::from_ticks(10);
+        e
+    }
+
+    #[test]
+    fn empty_trace_summary_is_zeroes() {
+        let s = AppSummary::from_trace(&Trace::new());
+        assert_eq!(s.num_ios, 0);
+        assert_eq!(s.mb_per_sec, 0.0);
+        assert_eq!(s.rw_data_ratio, 0.0);
+        assert_eq!(s.files_touched, 0);
+    }
+
+    #[test]
+    fn totals_and_rates_compute() {
+        // 2 reads of 1 MB + 1 write of 2 MB over 2 CPU seconds.
+        let t = Trace::from_events(vec![
+            ev(Direction::Read, 1, 0, MB, 0, 100_000),
+            ev(Direction::Read, 1, MB, MB, 200_000, 50_000),
+            ev(Direction::Write, 2, 0, 2 * MB, 400_000, 50_000),
+        ]);
+        let s = AppSummary::from_trace(&t);
+        assert_eq!(s.num_ios, 3);
+        assert!((s.cpu_secs - 2.0).abs() < 1e-9);
+        assert!((s.total_io_mb - 4.0).abs() < 1e-9);
+        assert!((s.mb_per_sec - 2.0).abs() < 1e-9);
+        assert!((s.ios_per_sec - 1.5).abs() < 1e-9);
+        assert!((s.reads.mb_per_sec - 1.0).abs() < 1e-9);
+        assert!((s.writes.mb_per_sec - 1.0).abs() < 1e-9);
+        assert!((s.rw_data_ratio - 1.0).abs() < 1e-9);
+        assert_eq!(s.files_touched, 2);
+        // Data size: file 1 extent 2 MB + file 2 extent 2 MB.
+        assert!((s.data_mb - 4.0).abs() < 1e-9);
+        assert!((s.avg_io_kb - 4.0 * 1024.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn write_only_trace_has_zero_ratio_read_only_infinite() {
+        let w = Trace::from_events(vec![ev(Direction::Write, 1, 0, MB, 0, 1000)]);
+        assert_eq!(AppSummary::from_trace(&w).rw_data_ratio, 0.0);
+        let r = Trace::from_events(vec![ev(Direction::Read, 1, 0, MB, 0, 1000)]);
+        assert!(AppSummary::from_trace(&r).rw_data_ratio.is_infinite());
+    }
+
+    #[test]
+    fn wall_span_uses_completion() {
+        let t = Trace::from_events(vec![
+            ev(Direction::Read, 1, 0, MB, 0, 0),
+            ev(Direction::Read, 1, MB, MB, 100_000, 0),
+        ]);
+        let s = AppSummary::from_trace(&t);
+        // last start 1 s + 10 ticks completion.
+        assert!((s.wall_secs - 1.0001).abs() < 1e-9);
+    }
+}

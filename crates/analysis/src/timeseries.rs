@@ -1,0 +1,119 @@
+//! Rate-over-time series: the machinery behind Figures 3, 4, 6 and 7.
+//!
+//! Figures 3–4 plot **MB per CPU second against process CPU time** —
+//! binning each request at the process's cumulative CPU clock, so
+//! multiprogramming delays cancel out (the point of the third timestamp,
+//! §4.1). Figures 6–7 plot disk traffic against **wall** time.
+
+use iotrace::{Direction, Trace};
+use sim_core::{RateSeries, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Which requests to include in a series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Select {
+    /// Reads and writes.
+    Both,
+    /// Reads only.
+    Reads,
+    /// Writes only.
+    Writes,
+}
+
+impl Select {
+    fn admits(self, dir: Direction) -> bool {
+        match self {
+            Select::Both => true,
+            Select::Reads => dir == Direction::Read,
+            Select::Writes => dir == Direction::Write,
+        }
+    }
+}
+
+/// Bytes binned against the *process CPU* clock (Figures 3–4). Each
+/// process carries its own CPU clock; multi-process traces bin each event
+/// at its own process's cumulative CPU time.
+pub fn cpu_time_series(trace: &Trace, bin: SimDuration, select: Select) -> RateSeries {
+    let mut series = RateSeries::new(bin);
+    let mut cpu_clock: HashMap<u32, u64> = HashMap::new();
+    for e in trace.events() {
+        let clock = cpu_clock.entry(e.process_id).or_insert(0);
+        *clock += e.process_time.ticks();
+        if select.admits(e.dir) {
+            series.add(SimTime::from_ticks(*clock), e.length as f64);
+        }
+    }
+    series
+}
+
+/// Bytes binned against the wall clock (Figures 6–7).
+pub fn wall_time_series(trace: &Trace, bin: SimDuration, select: Select) -> RateSeries {
+    let mut series = RateSeries::new(bin);
+    for e in trace.events() {
+        if select.admits(e.dir) {
+            series.add(e.start, e.length as f64);
+        }
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotrace::IoEvent;
+    use sim_core::units::MB;
+
+    fn ev(dir: Direction, start_s: u64, cpu_ticks: u64, len: u64) -> IoEvent {
+        IoEvent::logical(
+            dir,
+            1,
+            1,
+            0,
+            len,
+            SimTime::from_secs(start_s),
+            SimDuration::from_ticks(cpu_ticks),
+        )
+    }
+
+    #[test]
+    fn cpu_series_ignores_wall_gaps() {
+        // Two events far apart on the wall clock but adjacent in CPU time
+        // land in the same CPU-time bin.
+        let t = Trace::from_events(vec![
+            ev(Direction::Read, 0, 10_000, MB),
+            ev(Direction::Read, 500, 10_000, MB), // 500 s later on the wall
+        ]);
+        let cpu = cpu_time_series(&t, SimDuration::from_secs(1), Select::Both);
+        assert_eq!(cpu.len(), 1, "both events in CPU-second bin 0");
+        assert_eq!(cpu.bins()[0], 2.0 * MB as f64);
+        let wall = wall_time_series(&t, SimDuration::from_secs(1), Select::Both);
+        assert_eq!(wall.len(), 501);
+    }
+
+    #[test]
+    fn selection_filters_directions() {
+        let t = Trace::from_events(vec![
+            ev(Direction::Read, 0, 0, MB),
+            ev(Direction::Write, 0, 0, 2 * MB),
+        ]);
+        let r = wall_time_series(&t, SimDuration::from_secs(1), Select::Reads);
+        let w = wall_time_series(&t, SimDuration::from_secs(1), Select::Writes);
+        let b = wall_time_series(&t, SimDuration::from_secs(1), Select::Both);
+        assert_eq!(r.bins()[0], MB as f64);
+        assert_eq!(w.bins()[0], 2.0 * MB as f64);
+        assert_eq!(b.bins()[0], 3.0 * MB as f64);
+    }
+
+    #[test]
+    fn multi_process_cpu_clocks_are_independent() {
+        let mut e1 = ev(Direction::Read, 0, 150_000, MB); // p1 at cpu 1.5 s
+        e1.process_id = 1;
+        let mut e2 = ev(Direction::Read, 0, 50_000, MB); // p2 at cpu 0.5 s
+        e2.process_id = 2;
+        let t = Trace::from_events(vec![e1, e2]);
+        let s = cpu_time_series(&t, SimDuration::from_secs(1), Select::Both);
+        // p1's event in bin 1, p2's in bin 0.
+        assert_eq!(s.bins()[0], MB as f64);
+        assert_eq!(s.bins()[1], MB as f64);
+    }
+}

@@ -1,0 +1,22 @@
+//! Benchmarks for the design-choice ablations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use miller_core::ablations::{
+    block_size_ablation, quantum_ablation, queueing_ablation, readahead_ablation,
+    write_policy_ablation,
+};
+use miller_core::Scale;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("readahead_on_off", |b| b.iter(|| readahead_ablation(Scale(16), 42)));
+    g.bench_function("write_policies", |b| b.iter(|| write_policy_ablation(Scale(16), 42)));
+    g.bench_function("block_sizes", |b| b.iter(|| block_size_ablation(Scale(16), 42)));
+    g.bench_function("quanta", |b| b.iter(|| quantum_ablation(Scale(16), 42)));
+    g.bench_function("disk_queueing", |b| b.iter(|| queueing_ablation(Scale(16), 42)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

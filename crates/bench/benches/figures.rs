@@ -1,0 +1,29 @@
+//! Benchmarks regenerating Figures 3 and 4 (per-app demand series +
+//! cycle detection).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use miller_core::figures::{fig3, fig4};
+use miller_core::Scale;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig3_venus_demand", |b| {
+        b.iter(|| {
+            let f = fig3(Scale(4), 42);
+            assert!(f.mean_mb_per_s > 20.0);
+            f
+        })
+    });
+    g.bench_function("fig4_les_demand", |b| {
+        b.iter(|| {
+            let f = fig4(Scale(4), 42);
+            assert!(f.mean_mb_per_s > 20.0);
+            f
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

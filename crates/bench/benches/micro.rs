@@ -1,0 +1,103 @@
+//! Microbenchmarks of the substrates: trace codec throughput, cache
+//! operation rate, and raw simulator event rate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use miller_core::{
+    read_trace, write_trace, AppKind, CacheConfig, Direction, IoEvent, SimDuration, SimTime,
+    Trace,
+};
+
+fn synthetic_trace(n: u64) -> Trace {
+    let mut t = Trace::new();
+    for i in 0..n {
+        t.push(IoEvent::logical(
+            if i % 3 == 0 { Direction::Write } else { Direction::Read },
+            1,
+            1 + (i % 4) as u32,
+            (i / 4) * 65536,
+            65536,
+            SimTime::from_ticks(i * 500),
+            SimDuration::from_ticks(500),
+        ));
+    }
+    t
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let trace = synthetic_trace(20_000);
+    let mut encoded = Vec::new();
+    write_trace(&trace, &mut encoded).unwrap();
+
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Elements(20_000));
+    g.bench_function("encode_20k_records", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(encoded.len());
+            write_trace(&trace, &mut buf).unwrap();
+            buf
+        })
+    });
+    g.bench_function("decode_20k_records", |b| {
+        b.iter(|| read_trace(std::io::Cursor::new(&encoded)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("sequential_reads_10k", |b| {
+        b.iter(|| {
+            let mut cache =
+                miller_core::BlockCache::new(CacheConfig::buffered(16 * 1024 * 1024));
+            for i in 0..10_000u64 {
+                cache.read(SimTime::from_ticks(i), 1, 1, i * 4096, 4096);
+            }
+            cache.stats().hit_blocks
+        })
+    });
+    g.bench_function("write_flush_cycle_10k", |b| {
+        b.iter(|| {
+            let mut cache =
+                miller_core::BlockCache::new(CacheConfig::buffered(16 * 1024 * 1024));
+            for i in 0..10_000u64 {
+                cache.write(SimTime::from_ticks(i), 1, 1, (i % 1000) * 4096, 4096);
+                if i % 64 == 0 {
+                    cache.take_flush_batch(SimTime::from_ticks(i), u64::MAX);
+                }
+            }
+            cache.dirty_bytes()
+        })
+    });
+    g.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    g.sample_size(10);
+    g.bench_function("generate_venus_full", |b| {
+        b.iter(|| {
+            let t = miller_core::generate(&AppKind::Venus.spec(1), 42);
+            assert!(t.io_count() > 30_000);
+            t
+        })
+    });
+    g.finish();
+}
+
+fn bench_fsmap(c: &mut Criterion) {
+    let trace = synthetic_trace(20_000);
+    let mut g = c.benchmark_group("fsmap");
+    g.throughput(Throughput::Elements(20_000));
+    g.bench_function("translate_20k_records", |b| {
+        b.iter(|| {
+            let mut layout =
+                miller_core::FsLayout::new(miller_core::FsConfig::default());
+            miller_core::translate_to_physical(&trace, &mut layout)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_cache, bench_generation, bench_fsmap);
+criterion_main!(benches);

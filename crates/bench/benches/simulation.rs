@@ -1,0 +1,28 @@
+//! Benchmarks regenerating Figures 6, 7 and 8 (the buffering
+//! simulations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use miller_core::figures::{fig8, two_venus};
+use miller_core::Scale;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation");
+    g.sample_size(10);
+    g.bench_function("fig6_two_venus_32mb", |b| {
+        b.iter(|| two_venus(32, Scale(16), 42))
+    });
+    g.bench_function("fig7_two_venus_128mb", |b| {
+        b.iter(|| two_venus(128, Scale(16), 42))
+    });
+    g.bench_function("fig8_cache_sweep", |b| {
+        b.iter(|| {
+            let r = fig8(Scale(16), 42);
+            assert_eq!(r.points.len(), 14);
+            r
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

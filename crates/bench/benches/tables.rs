@@ -1,0 +1,29 @@
+//! Benchmarks regenerating Tables 1 and 2 end-to-end (trace synthesis +
+//! analysis for all seven applications).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use miller_core::tables::{table1, table2};
+use miller_core::Scale;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.bench_function("table1_quarter_scale", |b| {
+        b.iter(|| {
+            let r = table1(Scale(4), 42);
+            assert_eq!(r.rows.len(), 7);
+            r
+        })
+    });
+    g.bench_function("table2_quarter_scale", |b| {
+        b.iter(|| {
+            let r = table2(Scale(4), 42);
+            assert_eq!(r.rows.len(), 7);
+            r
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,824 @@
+//! The block cache state machine.
+//!
+//! Every method is pure bookkeeping: it mutates resident-block state and
+//! returns the device operations the access *implies*. The simulator
+//! charges time for them:
+//!
+//! * `ReadOutcome::fetches` — demand misses; a synchronous read blocks the
+//!   process until they complete.
+//! * `ReadOutcome::prefetch` — read-ahead fetches; issued asynchronously,
+//!   the process does not wait.
+//! * `*::writebacks` — dirty blocks evicted to make room; the device must
+//!   write them before the frame is reused, stalling the requester.
+//! * `WriteOutcome::write_through` — ranges the process must wait for
+//!   under [`WritePolicy::WriteThrough`].
+//! * [`BlockCache::take_flush_batch`] — background write-behind/delayed
+//!   flush traffic.
+//!
+//! Partial-block writes do not read-modify-write: like the paper's
+//! simulator, we work from logical traces with no file-system metadata,
+//! and supercomputer accesses are overwhelmingly whole-block sized.
+
+use crate::config::{CacheConfig, WritePolicy};
+use crate::lru::LruIndex;
+use crate::stats::CacheStats;
+use serde::{Deserialize, Serialize};
+use sim_core::SimTime;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A contiguous byte range within one file — the unit of implied device
+/// traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ByteRange {
+    /// File the range belongs to.
+    pub file_id: u32,
+    /// Starting byte offset.
+    pub offset: u64,
+    /// Length in bytes.
+    pub length: u64,
+}
+
+impl ByteRange {
+    /// End offset (exclusive).
+    pub fn end(&self) -> u64 {
+        self.offset + self.length
+    }
+}
+
+/// Result of a logical read.
+#[derive(Debug, Clone, Default)]
+pub struct ReadOutcome {
+    /// Blocks found resident.
+    pub hit_blocks: u64,
+    /// Resident blocks that were untouched read-ahead data.
+    pub readahead_hit_blocks: u64,
+    /// Blocks that had to come from the device.
+    pub miss_blocks: u64,
+    /// Demand fetches (coalesced), to be performed synchronously.
+    pub fetches: Vec<ByteRange>,
+    /// Read-ahead fetches (coalesced), to be performed asynchronously.
+    pub prefetch: Vec<ByteRange>,
+    /// Dirty blocks evicted to make room; must be written out.
+    pub writebacks: Vec<ByteRange>,
+}
+
+/// Result of a logical write.
+#[derive(Debug, Clone, Default)]
+pub struct WriteOutcome {
+    /// Ranges the process must synchronously push to the device
+    /// (write-through policy only).
+    pub write_through: Vec<ByteRange>,
+    /// Dirty blocks evicted to make room; must be written out.
+    pub writebacks: Vec<ByteRange>,
+    /// Blocks newly marked dirty and left in the cache.
+    pub dirtied_blocks: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    owner: u32,
+    dirty: bool,
+    /// Installed by read-ahead and not yet referenced by a demand access.
+    prefetched: bool,
+    /// When the oldest unwritten data in this block was dirtied.
+    dirty_since: SimTime,
+}
+
+type Key = (u32, u64); // (file_id, block number)
+
+#[derive(Debug, Clone, Copy)]
+struct SeqTrack {
+    next_offset: u64,
+}
+
+/// The block buffer cache. See the module docs for the interaction
+/// contract.
+#[derive(Debug)]
+pub struct BlockCache {
+    config: CacheConfig,
+    entries: HashMap<Key, Entry>,
+    global_lru: LruIndex<Key>,
+    per_owner: HashMap<u32, LruIndex<Key>>,
+    owner_counts: HashMap<u32, u64>,
+    /// Dirty blocks awaiting background flush, ordered by readiness time.
+    flush_q: VecDeque<(Key, SimTime /* dirty_since */, SimTime /* ready_at */)>,
+    /// Per (process, file) sequential-read detector state.
+    seq: HashMap<(u32, u32), SeqTrack>,
+    stats: CacheStats,
+}
+
+impl BlockCache {
+    /// Build a cache; panics on invalid geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        config.validate();
+        BlockCache {
+            config,
+            entries: HashMap::new(),
+            global_lru: LruIndex::new(),
+            per_owner: HashMap::new(),
+            owner_counts: HashMap::new(),
+            flush_q: VecDeque::new(),
+            seq: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Number of resident blocks.
+    pub fn resident_blocks(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// Bytes of dirty data currently buffered.
+    pub fn dirty_bytes(&self) -> u64 {
+        self.entries.values().filter(|e| e.dirty).count() as u64 * self.config.block_size
+    }
+
+    /// Whether the block containing `offset` of `file_id` is resident
+    /// (test/diagnostic helper).
+    pub fn contains(&self, file_id: u32, offset: u64) -> bool {
+        self.entries.contains_key(&(file_id, offset / self.config.block_size))
+    }
+
+    #[inline]
+    fn block_span(&self, offset: u64, length: u64) -> (u64, u64) {
+        let bs = self.config.block_size;
+        let first = offset / bs;
+        let last = (offset + length - 1) / bs;
+        (first, last)
+    }
+
+    fn touch(&mut self, key: Key) {
+        self.global_lru.touch(key);
+        if let Some(e) = self.entries.get(&key) {
+            self.per_owner.entry(e.owner).or_default().touch(key);
+        }
+    }
+
+    fn remove_entry(&mut self, key: Key) -> Option<Entry> {
+        let e = self.entries.remove(&key)?;
+        self.global_lru.remove(&key);
+        if let Some(lru) = self.per_owner.get_mut(&e.owner) {
+            lru.remove(&key);
+        }
+        if let Some(c) = self.owner_counts.get_mut(&e.owner) {
+            *c = c.saturating_sub(1);
+        }
+        Some(e)
+    }
+
+    /// Remove `victim` from the cache, accounting for its state. Returns
+    /// the writeback range when the victim was dirty.
+    fn finish_evict(&mut self, victim: Key) -> Option<ByteRange> {
+        let entry = self.remove_entry(victim).expect("victim must be resident");
+        if entry.prefetched {
+            self.stats.wasted_prefetch_blocks += 1;
+        }
+        if entry.dirty {
+            self.stats.dirty_evictions += 1;
+            let bs = self.config.block_size;
+            self.stats.device_bytes_written += bs;
+            Some(ByteRange { file_id: victim.0, offset: victim.1 * bs, length: bs })
+        } else {
+            self.stats.clean_evictions += 1;
+            None
+        }
+    }
+
+    fn select_victim(&mut self, pinned: &HashSet<Key>) -> Option<Key> {
+        // Global LRU, sparing pinned (in-flight request) blocks while any
+        // alternative exists. When *everything* resident is pinned — a
+        // request larger than the whole cache — the request streams
+        // through by sacrificing its own oldest block.
+        let mut skipped = Vec::new();
+        let mut found = None;
+        while let Some(k) = self.global_lru.pop_lru() {
+            if pinned.contains(&k) {
+                skipped.push(k);
+            } else {
+                found = Some(k);
+                break;
+            }
+        }
+        if found.is_none() && !skipped.is_empty() {
+            found = Some(skipped.remove(0));
+        }
+        // Skipped blocks are all part of the in-flight request, so
+        // re-touching them (making them most recent) matches their actual
+        // usage.
+        for k in skipped {
+            self.global_lru.touch(k);
+        }
+        found
+    }
+
+    /// Pick one of `owner`'s own blocks to evict (ownership-cap
+    /// enforcement, §6.2's anti-hogging ablation).
+    fn select_own_victim(&mut self, owner: u32, pinned: &HashSet<Key>) -> Option<Key> {
+        let own = self.per_owner.get_mut(&owner)?;
+        let mut skipped = Vec::new();
+        let mut found = None;
+        while let Some(k) = own.pop_lru() {
+            if pinned.contains(&k) {
+                skipped.push(k);
+            } else {
+                found = Some(k);
+                break;
+            }
+        }
+        if found.is_none() && !skipped.is_empty() {
+            found = Some(skipped.remove(0));
+        }
+        for k in skipped {
+            self.per_owner.get_mut(&owner).expect("owner lru exists").touch(k);
+        }
+        found
+    }
+
+    #[allow(clippy::too_many_arguments)] // internal state-machine helper
+    fn install(
+        &mut self,
+        key: Key,
+        owner: u32,
+        dirty: bool,
+        prefetched: bool,
+        now: SimTime,
+        pinned: &HashSet<Key>,
+        writebacks: &mut Vec<ByteRange>,
+    ) {
+        while self.entries.len() as u64 >= self.config.capacity_blocks() {
+            match self.select_victim(pinned) {
+                Some(victim) => {
+                    if let Some(wb) = self.finish_evict(victim) {
+                        writebacks.push(wb);
+                    }
+                }
+                None => break, // cache empty; nothing to evict
+            }
+        }
+        self.entries.insert(
+            key,
+            Entry { owner, dirty, prefetched, dirty_since: now },
+        );
+        *self.owner_counts.entry(owner).or_insert(0) += 1;
+        self.touch(key);
+
+        // Ownership cap: trim the owner back to its allotment even when
+        // the cache as a whole has room (§6.2's buffer-limit experiment).
+        if let Some(cap) = self.config.per_process_cap_blocks {
+            while self.owner_counts.get(&owner).copied().unwrap_or(0) > cap {
+                match self.select_own_victim(owner, pinned) {
+                    Some(victim) => {
+                        if let Some(wb) = self.finish_evict(victim) {
+                            writebacks.push(wb);
+                        }
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+
+    /// Service a logical read of `length` bytes at `offset` in `file_id`
+    /// by process `pid` at time `now`.
+    pub fn read(
+        &mut self,
+        now: SimTime,
+        pid: u32,
+        file_id: u32,
+        offset: u64,
+        length: u64,
+    ) -> ReadOutcome {
+        let mut out = ReadOutcome::default();
+        self.stats.read_calls += 1;
+        self.stats.bytes_read += length;
+        if length == 0 {
+            return out;
+        }
+        let bs = self.config.block_size;
+        let (first, last) = self.block_span(offset, length);
+        let pinned: HashSet<Key> = (first..=last).map(|b| (file_id, b)).collect();
+
+        let mut run_start: Option<u64> = None;
+        for b in first..=last {
+            let key = (file_id, b);
+            self.stats.accessed_blocks += 1;
+            if let Some(e) = self.entries.get_mut(&key) {
+                self.stats.hit_blocks += 1;
+                out.hit_blocks += 1;
+                if e.prefetched {
+                    e.prefetched = false;
+                    self.stats.readahead_hit_blocks += 1;
+                    out.readahead_hit_blocks += 1;
+                }
+                self.touch(key);
+                if let Some(start) = run_start.take() {
+                    out.fetches.push(ByteRange {
+                        file_id,
+                        offset: start * bs,
+                        length: (b - start) * bs,
+                    });
+                }
+            } else {
+                self.stats.miss_blocks += 1;
+                out.miss_blocks += 1;
+                run_start.get_or_insert(b);
+                self.install(key, pid, false, false, now, &pinned, &mut out.writebacks);
+            }
+        }
+        if let Some(start) = run_start {
+            out.fetches.push(ByteRange {
+                file_id,
+                offset: start * bs,
+                length: (last + 1 - start) * bs,
+            });
+        }
+        for f in &out.fetches {
+            self.stats.device_bytes_read += f.length;
+        }
+
+        // Read-ahead: same-size prefetch on sequential access (§6.2).
+        let seq_key = (pid, file_id);
+        let sequential = self
+            .seq
+            .get(&seq_key)
+            .is_some_and(|s| s.next_offset == offset);
+        if self.config.read_ahead && sequential {
+            let pf_offset = offset + length;
+            let pf_len = length;
+            let (pf_first, pf_last) = self.block_span(pf_offset, pf_len);
+            let mut pf_run: Option<u64> = None;
+            for b in pf_first..=pf_last {
+                let key = (file_id, b);
+                if self.entries.contains_key(&key) {
+                    if let Some(start) = pf_run.take() {
+                        out.prefetch.push(ByteRange {
+                            file_id,
+                            offset: start * bs,
+                            length: (b - start) * bs,
+                        });
+                    }
+                } else {
+                    pf_run.get_or_insert(b);
+                    self.install(key, pid, false, true, now, &pinned, &mut out.writebacks);
+                    self.stats.prefetched_blocks += 1;
+                }
+            }
+            if let Some(start) = pf_run {
+                out.prefetch.push(ByteRange {
+                    file_id,
+                    offset: start * bs,
+                    length: (pf_last + 1 - start) * bs,
+                });
+            }
+            for p in &out.prefetch {
+                self.stats.device_bytes_read += p.length;
+            }
+        }
+        self.seq.insert(seq_key, SeqTrack { next_offset: offset + length });
+        out
+    }
+
+    /// Service a logical write of `length` bytes at `offset` in `file_id`
+    /// by process `pid` at time `now`.
+    pub fn write(
+        &mut self,
+        now: SimTime,
+        pid: u32,
+        file_id: u32,
+        offset: u64,
+        length: u64,
+    ) -> WriteOutcome {
+        let mut out = WriteOutcome::default();
+        self.stats.write_calls += 1;
+        self.stats.bytes_written += length;
+        if length == 0 {
+            return out;
+        }
+        let bs = self.config.block_size;
+        let (first, last) = self.block_span(offset, length);
+        let pinned: HashSet<Key> = (first..=last).map(|b| (file_id, b)).collect();
+        let write_through = matches!(self.config.write_policy, WritePolicy::WriteThrough);
+
+        for b in first..=last {
+            let key = (file_id, b);
+            self.stats.accessed_blocks += 1;
+            if let Some(e) = self.entries.get_mut(&key) {
+                self.stats.hit_blocks += 1;
+                e.prefetched = false;
+                if !write_through && !e.dirty {
+                    e.dirty = true;
+                    e.dirty_since = now;
+                    out.dirtied_blocks += 1;
+                    self.enqueue_flush(key, now);
+                }
+                self.touch(key);
+            } else {
+                self.stats.miss_blocks += 1;
+                self.install(key, pid, !write_through, false, now, &pinned, &mut out.writebacks);
+                if !write_through {
+                    out.dirtied_blocks += 1;
+                    self.enqueue_flush(key, now);
+                }
+            }
+        }
+        if write_through {
+            let range = ByteRange {
+                file_id,
+                offset: first * bs,
+                length: (last + 1 - first) * bs,
+            };
+            self.stats.device_bytes_written += range.length;
+            out.write_through.push(range);
+        }
+        // A write also advances the sequential cursor: venus-style staging
+        // interleaves reads and writes on the same files.
+        self.seq
+            .insert((pid, file_id), SeqTrack { next_offset: offset + length });
+        out
+    }
+
+    fn enqueue_flush(&mut self, key: Key, dirty_since: SimTime) {
+        let ready_at = match self.config.write_policy {
+            WritePolicy::WriteThrough => return,
+            WritePolicy::WriteBehind => dirty_since,
+            WritePolicy::Delayed(d) => dirty_since + d,
+        };
+        self.flush_q.push_back((key, dirty_since, ready_at));
+    }
+
+    /// Pop up to `max_bytes` of flush-ready dirty data, marking it clean
+    /// (it stays resident). Returns coalesced ranges for the device.
+    ///
+    /// Under write-behind everything dirty is immediately ready; under
+    /// delayed writes only data older than the delay is returned —
+    /// Sprite's 30-second sweep (§2.1).
+    pub fn take_flush_batch(&mut self, now: SimTime, max_bytes: u64) -> Vec<ByteRange> {
+        let bs = self.config.block_size;
+        let mut blocks: Vec<Key> = Vec::new();
+        let mut budget = max_bytes;
+        while budget >= bs {
+            match self.flush_q.front() {
+                Some(&(_, _, ready_at)) if ready_at <= now => {}
+                _ => break,
+            }
+            let (key, dirty_since, _) = self.flush_q.pop_front().expect("front just observed");
+            match self.entries.get_mut(&key) {
+                Some(e) if e.dirty && e.dirty_since == dirty_since => {
+                    e.dirty = false;
+                    blocks.push(key);
+                    budget -= bs;
+                }
+                _ => {} // evicted, already flushed, or re-dirtied: skip stale entry
+            }
+        }
+        let ranges = coalesce(blocks, bs);
+        for r in &ranges {
+            self.stats.device_bytes_written += r.length;
+        }
+        ranges
+    }
+
+    /// True when dirty data is ready to flush at `now`.
+    pub fn has_flushable(&self, now: SimTime) -> bool {
+        self.flush_q.front().is_some_and(|&(_, _, r)| r <= now)
+    }
+
+    /// The earliest time any queued dirty block becomes flushable.
+    pub fn next_flush_ready(&self) -> Option<SimTime> {
+        self.flush_q.front().map(|&(_, _, r)| r)
+    }
+
+    /// Drain every dirty block regardless of age (end-of-run quiesce).
+    pub fn flush_all(&mut self) -> Vec<ByteRange> {
+        let bs = self.config.block_size;
+        let mut blocks: Vec<Key> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.dirty)
+            .map(|(&k, _)| k)
+            .collect();
+        blocks.sort_unstable();
+        for k in &blocks {
+            self.entries.get_mut(k).expect("listed above").dirty = false;
+        }
+        self.flush_q.clear();
+        let ranges = coalesce(blocks, bs);
+        for r in &ranges {
+            self.stats.device_bytes_written += r.length;
+        }
+        ranges
+    }
+}
+
+/// Coalesce block keys into contiguous per-file byte ranges.
+fn coalesce(mut blocks: Vec<Key>, block_size: u64) -> Vec<ByteRange> {
+    blocks.sort_unstable();
+    let mut out: Vec<ByteRange> = Vec::new();
+    for (file_id, b) in blocks {
+        match out.last_mut() {
+            Some(r)
+                if r.file_id == file_id && r.end() == b * block_size =>
+            {
+                r.length += block_size;
+            }
+            _ => out.push(ByteRange { file_id, offset: b * block_size, length: block_size }),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::units::KB;
+
+    fn cache(capacity: u64) -> BlockCache {
+        BlockCache::new(CacheConfig::buffered(capacity))
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn cold_read_misses_then_hits() {
+        let mut c = cache(64 * KB);
+        let r1 = c.read(t(0), 1, 1, 0, 8 * KB);
+        assert_eq!(r1.miss_blocks, 2);
+        assert_eq!(r1.hit_blocks, 0);
+        assert_eq!(r1.fetches, vec![ByteRange { file_id: 1, offset: 0, length: 8 * KB }]);
+        let r2 = c.read(t(1), 1, 1, 0, 8 * KB);
+        assert_eq!(r2.miss_blocks, 0);
+        assert_eq!(r2.hit_blocks, 2);
+        assert!(r2.fetches.is_empty());
+        c.stats().check_invariants();
+    }
+
+    #[test]
+    fn unaligned_read_touches_straddled_blocks() {
+        let mut c = cache(64 * KB);
+        // 4 KB blocks: a 6 KB read at offset 2 KB touches blocks 0 and 1.
+        let r = c.read(t(0), 1, 1, 2 * KB, 6 * KB);
+        assert_eq!(r.miss_blocks, 2);
+        assert_eq!(r.fetches[0].length, 8 * KB);
+    }
+
+    #[test]
+    fn sequential_reads_trigger_same_size_prefetch() {
+        let mut c = cache(256 * KB);
+        let r1 = c.read(t(0), 1, 1, 0, 16 * KB);
+        assert!(r1.prefetch.is_empty(), "first read is not yet sequential");
+        let r2 = c.read(t(1), 1, 1, 16 * KB, 16 * KB);
+        assert_eq!(
+            r2.prefetch,
+            vec![ByteRange { file_id: 1, offset: 32 * KB, length: 16 * KB }],
+            "second sequential read prefetches the same amount ahead"
+        );
+        // Third read hits entirely in prefetched data.
+        let r3 = c.read(t(2), 1, 1, 32 * KB, 16 * KB);
+        assert_eq!(r3.miss_blocks, 0);
+        assert_eq!(r3.readahead_hit_blocks, 4);
+        // And keeps the pipeline going.
+        assert!(!r3.prefetch.is_empty());
+        c.stats().check_invariants();
+    }
+
+    #[test]
+    fn non_sequential_reads_do_not_prefetch() {
+        let mut c = cache(256 * KB);
+        c.read(t(0), 1, 1, 0, 16 * KB);
+        let r = c.read(t(1), 1, 1, 64 * KB, 16 * KB);
+        assert!(r.prefetch.is_empty());
+    }
+
+    #[test]
+    fn read_ahead_disabled_never_prefetches() {
+        let mut cfg = CacheConfig::buffered(256 * KB);
+        cfg.read_ahead = false;
+        let mut c = BlockCache::new(cfg);
+        c.read(t(0), 1, 1, 0, 16 * KB);
+        let r = c.read(t(1), 1, 1, 16 * KB, 16 * KB);
+        assert!(r.prefetch.is_empty());
+        assert_eq!(c.stats().prefetched_blocks, 0);
+    }
+
+    #[test]
+    fn write_behind_buffers_and_flushes() {
+        let mut c = cache(64 * KB);
+        let w = c.write(t(0), 1, 1, 0, 8 * KB);
+        assert!(w.write_through.is_empty());
+        assert_eq!(w.dirtied_blocks, 2);
+        assert_eq!(c.dirty_bytes(), 8 * KB);
+        assert!(c.has_flushable(t(0)));
+        let batch = c.take_flush_batch(t(0), u64::MAX);
+        assert_eq!(batch, vec![ByteRange { file_id: 1, offset: 0, length: 8 * KB }]);
+        assert_eq!(c.dirty_bytes(), 0);
+        // Data still resident after flushing.
+        assert!(c.contains(1, 0));
+    }
+
+    #[test]
+    fn write_through_returns_sync_ranges() {
+        let mut c = BlockCache::new(CacheConfig::unbuffered(64 * KB));
+        let w = c.write(t(0), 1, 1, 0, 8 * KB);
+        assert_eq!(w.write_through.len(), 1);
+        assert_eq!(w.dirtied_blocks, 0);
+        assert_eq!(c.dirty_bytes(), 0);
+        assert!(!c.has_flushable(t(0)));
+    }
+
+    #[test]
+    fn delayed_writes_age_before_flushing() {
+        let mut cfg = CacheConfig::buffered(64 * KB);
+        cfg.write_policy = WritePolicy::sprite();
+        let mut c = BlockCache::new(cfg);
+        c.write(t(0), 1, 1, 0, 4 * KB);
+        assert!(!c.has_flushable(t(10)), "too young to flush");
+        assert!(c.take_flush_batch(t(10), u64::MAX).is_empty());
+        assert!(c.has_flushable(t(31)));
+        assert_eq!(c.take_flush_batch(t(31), u64::MAX).len(), 1);
+        assert_eq!(c.next_flush_ready(), None);
+    }
+
+    #[test]
+    fn rewriting_dirty_block_does_not_duplicate_flush() {
+        let mut c = cache(64 * KB);
+        c.write(t(0), 1, 1, 0, 4 * KB);
+        c.write(t(1), 1, 1, 0, 4 * KB); // same block, still dirty
+        let batch = c.take_flush_batch(t(2), u64::MAX);
+        assert_eq!(batch.len(), 1);
+        assert!(c.take_flush_batch(t(3), u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn flush_batch_respects_byte_budget() {
+        let mut c = cache(256 * KB);
+        c.write(t(0), 1, 1, 0, 32 * KB); // 8 dirty blocks
+        let batch = c.take_flush_batch(t(1), 12 * KB); // 3 blocks fit
+        let bytes: u64 = batch.iter().map(|r| r.length).sum();
+        assert_eq!(bytes, 12 * KB);
+        assert_eq!(c.dirty_bytes(), 20 * KB);
+    }
+
+    #[test]
+    fn lru_eviction_drops_oldest_clean_block() {
+        let mut c = cache(16 * KB); // 4 blocks
+        c.read(t(0), 1, 1, 0, 4 * KB);
+        c.read(t(1), 1, 1, 4 * KB, 4 * KB);
+        c.read(t(2), 1, 1, 8 * KB, 4 * KB);
+        c.read(t(3), 1, 1, 12 * KB, 4 * KB);
+        // Touch block 0 so block 1 is LRU.
+        c.read(t(4), 1, 1, 0, 4 * KB);
+        let r = c.read(t(5), 1, 1, 16 * KB, 4 * KB);
+        assert!(r.writebacks.is_empty(), "clean eviction needs no writeback");
+        assert!(c.contains(1, 0), "recently touched block survives");
+        assert!(!c.contains(1, 4 * KB), "LRU block evicted");
+    }
+
+    #[test]
+    fn evicting_dirty_block_produces_writeback() {
+        let mut c = cache(8 * KB); // 2 blocks
+        c.write(t(0), 1, 1, 0, 8 * KB); // both blocks dirty
+        let r = c.read(t(1), 1, 1, 16 * KB, 8 * KB); // displaces both
+        let wb_bytes: u64 = r.writebacks.iter().map(|r| r.length).sum();
+        assert_eq!(wb_bytes, 8 * KB);
+        assert_eq!(c.stats().dirty_evictions, 2);
+        // The flush queue entry for the evicted block is stale and must
+        // not produce duplicate traffic.
+        assert!(c.take_flush_batch(t(2), u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded() {
+        let mut c = cache(32 * KB); // 8 blocks
+        for i in 0..100u64 {
+            c.read(t(i), 1, 1, i * 4 * KB, 4 * KB);
+            assert!(c.resident_blocks() <= 8, "resident {} at i {}", c.resident_blocks(), i);
+        }
+    }
+
+    #[test]
+    fn request_larger_than_cache_streams_through() {
+        let mut c = cache(16 * KB); // 4 blocks
+        let r = c.read(t(0), 1, 1, 0, 64 * KB); // 16 blocks
+        assert_eq!(r.miss_blocks, 16);
+        assert!(c.resident_blocks() <= 4);
+        c.stats().check_invariants();
+    }
+
+    #[test]
+    fn per_process_cap_evicts_own_blocks_first() {
+        let mut cfg = CacheConfig::buffered(64 * KB); // 16 blocks
+        cfg.per_process_cap_blocks = Some(4);
+        cfg.read_ahead = false;
+        let mut c = BlockCache::new(cfg);
+        // Process 2 installs 4 blocks first.
+        c.read(t(0), 2, 2, 0, 16 * KB);
+        // Process 1 then streams 8 blocks; with a cap of 4 it must evict
+        // its own, leaving process 2's resident.
+        for i in 0..8u64 {
+            c.read(t(1 + i), 1, 1, i * 4 * KB, 4 * KB);
+        }
+        for b in 0..4u64 {
+            assert!(c.contains(2, b * 4 * KB), "hogging victim's block {b} evicted");
+        }
+        let p1_resident = (0..8u64).filter(|&b| c.contains(1, b * 4 * KB)).count();
+        assert!(p1_resident <= 5, "cap not enforced: {p1_resident} blocks resident");
+    }
+
+    #[test]
+    fn without_cap_hog_takes_over() {
+        let mut cfg = CacheConfig::buffered(32 * KB); // 8 blocks
+        cfg.read_ahead = false;
+        let mut c = BlockCache::new(cfg);
+        c.read(t(0), 2, 2, 0, 8 * KB); // 2 blocks for process 2
+        for i in 0..8u64 {
+            c.read(t(1 + i), 1, 1, i * 4 * KB, 4 * KB);
+        }
+        assert!(!c.contains(2, 0), "hog should displace the other process");
+    }
+
+    #[test]
+    fn wasted_prefetch_is_counted() {
+        let mut c = cache(32 * KB); // 8 blocks
+        // Trigger a prefetch, then stream unrelated data to evict it
+        // before use.
+        c.read(t(0), 1, 1, 0, 4 * KB);
+        c.read(t(1), 1, 1, 4 * KB, 4 * KB); // prefetches blk 2
+        for i in 0..8u64 {
+            c.read(t(2 + i), 1, 2, i * 4 * KB, 4 * KB);
+        }
+        assert!(c.stats().wasted_prefetch_blocks >= 1);
+        c.stats().check_invariants();
+    }
+
+    #[test]
+    fn flush_all_cleans_everything() {
+        let mut cfg = CacheConfig::buffered(64 * KB);
+        cfg.write_policy = WritePolicy::sprite();
+        let mut c = BlockCache::new(cfg);
+        c.write(t(0), 1, 1, 0, 8 * KB);
+        c.write(t(1), 1, 2, 0, 4 * KB);
+        let ranges = c.flush_all();
+        let bytes: u64 = ranges.iter().map(|r| r.length).sum();
+        assert_eq!(bytes, 12 * KB);
+        assert_eq!(c.dirty_bytes(), 0);
+        assert!(c.flush_all().is_empty());
+    }
+
+    #[test]
+    fn coalesce_merges_adjacent_blocks_per_file() {
+        let ranges = coalesce(vec![(1, 0), (1, 1), (1, 3), (2, 4), (2, 5)], 4 * KB);
+        assert_eq!(
+            ranges,
+            vec![
+                ByteRange { file_id: 1, offset: 0, length: 8 * KB },
+                ByteRange { file_id: 1, offset: 12 * KB, length: 4 * KB },
+                ByteRange { file_id: 2, offset: 16 * KB, length: 8 * KB },
+            ]
+        );
+    }
+
+    #[test]
+    fn zero_length_accesses_are_noops() {
+        let mut c = cache(32 * KB);
+        let r = c.read(t(0), 1, 1, 0, 0);
+        assert_eq!(r.hit_blocks + r.miss_blocks, 0);
+        let w = c.write(t(0), 1, 1, 0, 0);
+        assert_eq!(w.dirtied_blocks, 0);
+        assert_eq!(c.resident_blocks(), 0);
+    }
+
+    #[test]
+    fn interleaved_files_keep_independent_seq_tracking() {
+        let mut c = cache(1024 * KB);
+        c.read(t(0), 1, 1, 0, 16 * KB);
+        c.read(t(1), 1, 2, 0, 16 * KB);
+        // Sequential continuation on each file still detected.
+        let r1 = c.read(t(2), 1, 1, 16 * KB, 16 * KB);
+        let r2 = c.read(t(3), 1, 2, 16 * KB, 16 * KB);
+        assert!(!r1.prefetch.is_empty());
+        assert!(!r2.prefetch.is_empty());
+    }
+
+    #[test]
+    fn stats_bytes_track_logical_traffic() {
+        let mut c = cache(64 * KB);
+        c.read(t(0), 1, 1, 0, 10_000);
+        c.write(t(1), 1, 1, 0, 5_000);
+        assert_eq!(c.stats().bytes_read, 10_000);
+        assert_eq!(c.stats().bytes_written, 5_000);
+        assert_eq!(c.stats().read_calls, 1);
+        assert_eq!(c.stats().write_calls, 1);
+    }
+}

@@ -1,0 +1,142 @@
+//! A recency index: O(log n) touch / evict-least-recent, used both
+//! globally and per owning process.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// Tracks recency of a set of keys. The least-recently-touched key pops
+/// first.
+#[derive(Debug, Clone)]
+pub struct LruIndex<K: Eq + Hash + Clone> {
+    next_seq: u64,
+    by_key: HashMap<K, u64>,
+    by_seq: BTreeMap<u64, K>,
+}
+
+impl<K: Eq + Hash + Clone> Default for LruIndex<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone> LruIndex<K> {
+    /// An empty index.
+    pub fn new() -> Self {
+        LruIndex { next_seq: 0, by_key: HashMap::new(), by_seq: BTreeMap::new() }
+    }
+
+    /// Mark `key` as most recently used, inserting it if absent.
+    pub fn touch(&mut self, key: K) {
+        if let Some(old) = self.by_key.insert(key.clone(), self.next_seq) {
+            self.by_seq.remove(&old);
+        }
+        self.by_seq.insert(self.next_seq, key);
+        self.next_seq += 1;
+    }
+
+    /// Remove `key`; true if it was present.
+    pub fn remove(&mut self, key: &K) -> bool {
+        match self.by_key.remove(key) {
+            Some(seq) => {
+                self.by_seq.remove(&seq);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remove and return the least recently used key.
+    pub fn pop_lru(&mut self) -> Option<K> {
+        let (&seq, _) = self.by_seq.iter().next()?;
+        let key = self.by_seq.remove(&seq).expect("seq just observed");
+        self.by_key.remove(&key);
+        Some(key)
+    }
+
+    /// The least recently used key, without removing it.
+    pub fn peek_lru(&self) -> Option<&K> {
+        self.by_seq.values().next()
+    }
+
+    /// Whether `key` is tracked.
+    pub fn contains(&self, key: &K) -> bool {
+        self.by_key.contains_key(key)
+    }
+
+    /// Number of tracked keys.
+    pub fn len(&self) -> usize {
+        self.by_key.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_key.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_recency_order() {
+        let mut l = LruIndex::new();
+        l.touch("a");
+        l.touch("b");
+        l.touch("c");
+        assert_eq!(l.pop_lru(), Some("a"));
+        assert_eq!(l.pop_lru(), Some("b"));
+        assert_eq!(l.pop_lru(), Some("c"));
+        assert_eq!(l.pop_lru(), None);
+    }
+
+    #[test]
+    fn touch_refreshes_recency() {
+        let mut l = LruIndex::new();
+        l.touch(1);
+        l.touch(2);
+        l.touch(3);
+        l.touch(1); // 1 becomes most recent
+        assert_eq!(l.pop_lru(), Some(2));
+        assert_eq!(l.pop_lru(), Some(3));
+        assert_eq!(l.pop_lru(), Some(1));
+    }
+
+    #[test]
+    fn remove_works_and_reports() {
+        let mut l = LruIndex::new();
+        l.touch('x');
+        l.touch('y');
+        assert!(l.remove(&'x'));
+        assert!(!l.remove(&'x'));
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.pop_lru(), Some('y'));
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut l = LruIndex::new();
+        l.touch(10);
+        l.touch(20);
+        assert_eq!(l.peek_lru(), Some(&10));
+        assert_eq!(l.len(), 2);
+        assert!(l.contains(&10));
+        assert!(!l.contains(&30));
+    }
+
+    #[test]
+    fn internal_maps_stay_consistent_under_churn() {
+        let mut l = LruIndex::new();
+        for i in 0..1000u32 {
+            l.touch(i % 37);
+            if i % 5 == 0 {
+                l.pop_lru();
+            }
+            if i % 11 == 0 {
+                l.remove(&(i % 37));
+            }
+            assert_eq!(l.by_key.len(), l.by_seq.len());
+        }
+    }
+}

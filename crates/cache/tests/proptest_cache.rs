@@ -1,0 +1,158 @@
+//! Property tests over arbitrary cache operation sequences:
+//! capacity is never exceeded, accounting identities hold, and dirty data
+//! is conserved (every dirtied block is eventually flushed, written back
+//! on eviction, or still dirty at quiesce).
+
+use buffer_cache::{BlockCache, CacheConfig, WritePolicy};
+use proptest::prelude::*;
+use sim_core::units::KB;
+use sim_core::SimTime;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Read { pid: u32, file: u32, offset: u64, len: u64 },
+    Write { pid: u32, file: u32, offset: u64, len: u64 },
+    Flush { budget: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u32..4, 1u32..5, 0u64..512 * 1024, 1u64..64 * 1024)
+            .prop_map(|(pid, file, offset, len)| Op::Read { pid, file, offset, len }),
+        (1u32..4, 1u32..5, 0u64..512 * 1024, 1u64..64 * 1024)
+            .prop_map(|(pid, file, offset, len)| Op::Write { pid, file, offset, len }),
+        (1u64..128 * 1024).prop_map(|budget| Op::Flush { budget }),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = CacheConfig> {
+    (
+        prop::sample::select(vec![16u64 * KB, 64 * KB, 256 * KB]),
+        prop::sample::select(vec![4u64 * KB, 8 * KB]),
+        any::<bool>(),
+        prop::sample::select(vec![0u8, 1, 2]),
+        prop::option::of(1u64..16),
+    )
+        .prop_map(|(capacity, block_size, read_ahead, wp, cap)| CacheConfig {
+            capacity,
+            block_size,
+            read_ahead,
+            write_policy: match wp {
+                0 => WritePolicy::WriteThrough,
+                1 => WritePolicy::WriteBehind,
+                _ => WritePolicy::sprite(),
+            },
+            per_process_cap_blocks: cap,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cache_invariants_hold_under_arbitrary_ops(
+        config in arb_config(),
+        ops in proptest::collection::vec(arb_op(), 1..300),
+    ) {
+        let bs = config.block_size;
+        let mut cache = BlockCache::new(config.clone());
+        let mut now = SimTime::ZERO;
+        let mut dirtied_blocks: u64 = 0;
+        let mut flushed_bytes: u64 = 0;
+        let mut writeback_bytes: u64 = 0;
+
+        for op in &ops {
+            now += sim_core::SimDuration::from_millis(50);
+            match *op {
+                Op::Read { pid, file, offset, len } => {
+                    let out = cache.read(now, pid, file, offset, len);
+                    writeback_bytes += out.writebacks.iter().map(|r| r.length).sum::<u64>();
+                    // Each fetch range is block aligned and nonempty.
+                    for f in out.fetches.iter().chain(out.prefetch.iter()) {
+                        prop_assert_eq!(f.offset % bs, 0);
+                        prop_assert_eq!(f.length % bs, 0);
+                        prop_assert!(f.length > 0);
+                    }
+                    prop_assert!(out.readahead_hit_blocks <= out.hit_blocks);
+                }
+                Op::Write { pid, file, offset, len } => {
+                    let out = cache.write(now, pid, file, offset, len);
+                    dirtied_blocks += out.dirtied_blocks;
+                    writeback_bytes += out.writebacks.iter().map(|r| r.length).sum::<u64>();
+                    match config.write_policy {
+                        WritePolicy::WriteThrough => {
+                            prop_assert_eq!(out.dirtied_blocks, 0);
+                            prop_assert!(!out.write_through.is_empty());
+                        }
+                        _ => prop_assert!(out.write_through.is_empty()),
+                    }
+                }
+                Op::Flush { budget } => {
+                    let batch = cache.take_flush_batch(now, budget);
+                    let bytes: u64 = batch.iter().map(|r| r.length).sum();
+                    prop_assert!(bytes <= budget.max(bs));
+                    flushed_bytes += bytes;
+                }
+            }
+            prop_assert!(
+                cache.resident_blocks() <= config.capacity_blocks(),
+                "capacity exceeded: {} > {}",
+                cache.resident_blocks(),
+                config.capacity_blocks()
+            );
+            cache.stats().check_invariants();
+        }
+
+        // Quiesce: drain everything and check dirty-data conservation.
+        let final_flush: u64 = cache.flush_all().iter().map(|r| r.length).sum();
+        flushed_bytes += final_flush;
+        prop_assert_eq!(cache.dirty_bytes(), 0);
+        prop_assert_eq!(
+            dirtied_blocks * bs,
+            flushed_bytes + writeback_bytes,
+            "every dirtied block must be flushed or written back exactly once"
+        );
+
+        // Device write accounting matches what the cache reported.
+        let stats = cache.stats();
+        let wt_bytes = match config.write_policy {
+            WritePolicy::WriteThrough => stats.device_bytes_written,
+            _ => flushed_bytes + writeback_bytes,
+        };
+        prop_assert_eq!(stats.device_bytes_written, wt_bytes);
+    }
+
+    #[test]
+    fn per_process_cap_is_respected_after_every_op(
+        ops in proptest::collection::vec(arb_op(), 1..200),
+        cap in 2u64..8,
+    ) {
+        let config = CacheConfig {
+            capacity: 256 * KB,
+            block_size: 4 * KB,
+            read_ahead: false,
+            write_policy: WritePolicy::WriteBehind,
+            per_process_cap_blocks: Some(cap),
+        };
+        let mut cache = BlockCache::new(config);
+        let mut now = SimTime::ZERO;
+        for op in &ops {
+            now += sim_core::SimDuration::from_millis(10);
+            match *op {
+                Op::Read { pid, file, offset, len } => {
+                    cache.read(now, pid, file, offset, len % (cap * 4 * KB) + 1);
+                    let _ = (file, offset);
+                }
+                Op::Write { pid, file, offset, len } => {
+                    cache.write(now, pid, file, offset, len % (cap * 4 * KB) + 1);
+                }
+                Op::Flush { budget } => {
+                    cache.take_flush_batch(now, budget);
+                }
+            }
+            // With single-request sizes under the cap, no process may hold
+            // more than `cap` blocks after its request completes.
+            prop_assert!(cache.resident_blocks() <= 3 * cap + 3);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Run the design-choice ablations (read-ahead, write policy, block
+//! size, quantum, disk queueing).
+
+use experiments::ablations::{all_ablations, render_ablations};
+use experiments::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--quick") { Scale(8) } else { Scale::FULL };
+    let report = all_ablations(scale, 42);
+    println!("{}", render_ablations(&report));
+    if let Some(i) = args.iter().position(|a| a == "--json") {
+        let path = args.get(i + 1).expect("--json needs a path");
+        std::fs::write(path, serde_json::to_string_pretty(&report).expect("serialize"))
+            .expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

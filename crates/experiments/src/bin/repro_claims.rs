@@ -1,0 +1,17 @@
+//! Check the §6 headline claims C1–C5.
+
+use experiments::claims::{all_claims, render_claims};
+use experiments::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--quick") { Scale(8) } else { Scale::FULL };
+    let report = all_claims(scale, 42);
+    println!("{}", render_claims(&report));
+    if let Some(i) = args.iter().position(|a| a == "--json") {
+        let path = args.get(i + 1).expect("--json needs a path");
+        std::fs::write(path, serde_json::to_string_pretty(&report).expect("serialize"))
+            .expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,30 @@
+//! Regenerate Figures 6, 7 and 8 (the buffering simulations).
+
+use experiments::figures::{fig6, fig7, fig8, render_fig8};
+use experiments::nplus1::{nplus1, render_nplus1};
+use experiments::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--quick") { Scale(8) } else { Scale::FULL };
+    for (label, fig) in [("Figure 6", fig6(scale, 42)), ("Figure 7", fig7(scale, 42))] {
+        println!(
+            "{label}: 2 x venus, {} MB cache — idle {:.1}s, utilization {:.1}%, disk-traffic CV {:.2}",
+            fig.cache_mb,
+            fig.idle_secs,
+            fig.utilization * 100.0,
+            fig.disk_burstiness_cv
+        );
+        println!("{}", fig.plot);
+    }
+    let f8 = fig8(scale, 42);
+    println!("{}", render_fig8(&f8));
+    let np1 = nplus1(&[1, 2, 4], scale, 42);
+    println!("{}", render_nplus1(&np1));
+    if let Some(i) = args.iter().position(|a| a == "--json") {
+        let path = args.get(i + 1).expect("--json needs a path");
+        std::fs::write(path, serde_json::to_string_pretty(&f8).expect("serialize"))
+            .expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerate Tables 1 and 2. `--quick` runs at 1/8 scale; `--json PATH`
+//! additionally writes machine-readable results.
+
+use experiments::extras::{
+    amdahl_table, compression_table, render_amdahl, render_compression,
+};
+use experiments::tables::{render_table1, render_table2, table1};
+use experiments::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--quick") { Scale(8) } else { Scale::FULL };
+    let result = table1(scale, 42);
+    println!("{}", render_table1(&result));
+    println!("{}", render_table2(&result));
+    println!("{}", render_compression(&compression_table(scale, 42)));
+    println!("{}", render_amdahl(&amdahl_table(scale, 42)));
+    if let Some(i) = args.iter().position(|a| a == "--json") {
+        let path = args.get(i + 1).expect("--json needs a path");
+        std::fs::write(path, serde_json::to_string_pretty(&result).expect("serialize"))
+            .expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

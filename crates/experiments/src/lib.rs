@@ -1,0 +1,29 @@
+//! Experiment runners: one per table, figure, and headline claim of the
+//! paper, plus the ablations DESIGN.md calls out.
+//!
+//! Each runner returns a serializable result struct and can render itself
+//! as text (ASCII tables and plots). The binaries under `src/bin/` are
+//! thin wrappers; the benches in `crates/bench` call the same entry
+//! points so "regenerating a figure" is always the same code path.
+//!
+//! | entry point | reproduces |
+//! |---|---|
+//! | [`tables::table1`] / [`tables::table2`] | Tables 1–2 |
+//! | [`figures::fig3`] / [`figures::fig4`] | per-app demand over CPU time |
+//! | [`figures::fig6`] / [`figures::fig7`] | 2×venus disk traffic vs cache size |
+//! | [`figures::fig8`] | idle time vs cache size, 4 KB vs 8 KB blocks |
+//! | [`claims`] | §6's quantitative claims C1–C5 |
+//! | [`nplus1`] | the §2.2 "n+1 jobs keep n CPUs busy" rule |
+//! | [`extras`] | appendix compression study + Amdahl balance sheet |
+//! | [`ablations`] | read-ahead / write policy / quantum / queueing sweeps |
+
+pub mod ablations;
+pub mod claims;
+pub mod extras;
+pub mod figures;
+pub mod nplus1;
+pub mod render;
+pub mod runner;
+pub mod tables;
+
+pub use runner::{app_trace, scaled_spec, Scale};

@@ -1,0 +1,168 @@
+//! Plain-text rendering: aligned tables and ASCII rate plots.
+
+use sim_core::RateSeries;
+
+/// A simple aligned-column text table.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with the given column headers.
+    pub fn new(header: &[&str]) -> TextTable {
+        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Render a rate series as an ASCII plot (rows = descending rate levels,
+/// columns = time bins, `#` marks bins at or above the row's level) —
+/// the poor man's Figure 3.
+pub fn ascii_plot(series: &RateSeries, title: &str, height: usize, max_cols: usize) -> String {
+    let rates = series.rates_per_second();
+    if rates.is_empty() {
+        return format!("{title}\n(empty series)\n");
+    }
+    // Downsample to at most max_cols columns by averaging.
+    let stride = rates.len().div_ceil(max_cols);
+    let cols: Vec<f64> = rates
+        .chunks(stride)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect();
+    let peak = cols.iter().cloned().fold(0.0f64, f64::max);
+    let mut out = format!("{title}  (peak {:.1}, mean {:.1}, {} bins of {:.0}s)\n",
+        peak / 1e6,
+        rates.iter().sum::<f64>() / rates.len() as f64 / 1e6,
+        rates.len(),
+        series.bin_width().as_secs_f64() * stride as f64,
+    );
+    if peak == 0.0 {
+        out.push_str("(no traffic)\n");
+        return out;
+    }
+    for level in (1..=height).rev() {
+        let threshold = peak * level as f64 / height as f64;
+        let mut line = format!("{:>8.1} |", threshold / 1e6);
+        for &c in &cols {
+            line.push(if c >= threshold { '#' } else { ' ' });
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>8} +{}\n", "MB/s", "-".repeat(cols.len())));
+    out
+}
+
+/// Format a fraction as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Format an f64 compactly.
+pub fn num(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else if x.abs() >= 0.1 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::{SimDuration, SimTime};
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = TextTable::new(&["app", "MB/s"]);
+        t.row(vec!["venus".into(), "44.1".into()]);
+        t.row(vec!["x".into(), "8".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("app"));
+        assert!(lines[2].contains("venus"));
+        // Aligned: all rows same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_rejected() {
+        TextTable::new(&["a", "b"]).row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn plot_handles_empty_and_flat() {
+        let s = RateSeries::per_second();
+        assert!(ascii_plot(&s, "t", 5, 40).contains("empty"));
+        let mut s2 = RateSeries::new(SimDuration::from_secs(1));
+        s2.add(SimTime::ZERO, 0.0);
+        assert!(ascii_plot(&s2, "t", 5, 40).contains("no traffic"));
+    }
+
+    #[test]
+    fn plot_marks_peaks() {
+        let mut s = RateSeries::new(SimDuration::from_secs(1));
+        for i in 0..20u64 {
+            s.add(SimTime::from_secs(i), if i % 5 == 0 { 100e6 } else { 1e6 });
+        }
+        let p = ascii_plot(&s, "bursty", 8, 40);
+        assert!(p.contains('#'));
+        let top_row = p.lines().nth(1).unwrap();
+        // Only the peak bins reach the top level.
+        assert_eq!(top_row.matches('#').count(), 4);
+    }
+
+    #[test]
+    fn number_formats() {
+        assert_eq!(num(0.0), "0");
+        assert_eq!(num(12345.6), "12346");
+        assert_eq!(num(44.12), "44.1");
+        assert_eq!(num(1.07), "1.07");
+        assert_eq!(num(0.0107), "0.0107");
+        assert_eq!(pct(0.991), "99.1%");
+    }
+}

@@ -1,0 +1,148 @@
+//! What translation does to the traffic: alignment waste, metadata
+//! overhead, and how the physical load spreads over the disk farm.
+
+use iotrace::{DataKind, Scope, Trace};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Amplification report for a translated (mixed) trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Amplification {
+    /// Bytes requested by logical records.
+    pub logical_bytes: u64,
+    /// Bytes moved by physical *data* records.
+    pub physical_data_bytes: u64,
+    /// Bytes moved by physical *metadata* records.
+    pub metadata_bytes: u64,
+    /// Logical record count.
+    pub logical_ios: u64,
+    /// Physical record count (data + metadata).
+    pub physical_ios: u64,
+    /// Physical data bytes per disk.
+    pub per_disk_bytes: HashMap<u32, u64>,
+}
+
+impl Amplification {
+    /// physical data bytes / logical bytes (≥ 1.0 for block-aligned
+    /// layouts; the alignment waste).
+    pub fn data_amplification(&self) -> f64 {
+        if self.logical_bytes == 0 {
+            0.0
+        } else {
+            self.physical_data_bytes as f64 / self.logical_bytes as f64
+        }
+    }
+
+    /// Metadata bytes as a fraction of all physical bytes.
+    pub fn metadata_fraction(&self) -> f64 {
+        let total = self.physical_data_bytes + self.metadata_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.metadata_bytes as f64 / total as f64
+        }
+    }
+
+    /// Max/mean ratio of per-disk load (1.0 = perfectly balanced).
+    pub fn disk_imbalance(&self) -> f64 {
+        if self.per_disk_bytes.is_empty() {
+            return 0.0;
+        }
+        let max = *self.per_disk_bytes.values().max().expect("nonempty") as f64;
+        let mean = self.per_disk_bytes.values().sum::<u64>() as f64
+            / self.per_disk_bytes.len() as f64;
+        if mean == 0.0 {
+            0.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+/// Measure a translated trace.
+pub fn measure(trace: &Trace) -> Amplification {
+    let mut a = Amplification {
+        logical_bytes: 0,
+        physical_data_bytes: 0,
+        metadata_bytes: 0,
+        logical_ios: 0,
+        physical_ios: 0,
+        per_disk_bytes: HashMap::new(),
+    };
+    for e in trace.events() {
+        match e.scope {
+            Scope::Logical => {
+                a.logical_bytes += e.length;
+                a.logical_ios += 1;
+            }
+            Scope::Physical => {
+                a.physical_ios += 1;
+                match e.kind {
+                    DataKind::MetaData => a.metadata_bytes += e.length,
+                    _ => {
+                        a.physical_data_bytes += e.length;
+                        *a.per_disk_bytes.entry(e.file_id).or_insert(0) += e.length;
+                    }
+                }
+            }
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{FsConfig, FsLayout};
+    use crate::translate::translate;
+    use iotrace::{Direction, IoEvent};
+    use sim_core::{SimDuration, SimTime};
+
+    fn sample() -> Amplification {
+        let mut t = Trace::new();
+        for i in 0..200u64 {
+            t.push(IoEvent::logical(
+                Direction::Read,
+                1,
+                1 + (i % 3) as u32,
+                i * 50_000,
+                30_000, // unaligned: guarantees alignment waste
+                SimTime::from_ticks(i * 1000),
+                SimDuration::from_ticks(500),
+            ));
+        }
+        let mut layout = FsLayout::new(FsConfig::default());
+        measure(&translate(&t, &mut layout))
+    }
+
+    #[test]
+    fn amplification_is_at_least_one() {
+        let a = sample();
+        assert!(a.data_amplification() >= 1.0, "got {}", a.data_amplification());
+        assert!(a.data_amplification() < 1.5, "alignment waste should be modest");
+        assert_eq!(a.logical_ios, 200);
+        assert!(a.physical_ios >= a.logical_ios);
+    }
+
+    #[test]
+    fn metadata_is_a_small_fraction() {
+        let a = sample();
+        assert!(a.metadata_bytes > 0, "indirect blocks must be read");
+        assert!(a.metadata_fraction() < 0.05, "got {}", a.metadata_fraction());
+    }
+
+    #[test]
+    fn load_spreads_over_multiple_disks() {
+        let a = sample();
+        assert!(a.per_disk_bytes.len() >= 3, "disks used: {:?}", a.per_disk_bytes.keys());
+        assert!(a.disk_imbalance() < 3.0, "imbalance {}", a.disk_imbalance());
+    }
+
+    #[test]
+    fn empty_trace_is_benign() {
+        let a = measure(&Trace::new());
+        assert_eq!(a.data_amplification(), 0.0);
+        assert_eq!(a.metadata_fraction(), 0.0);
+        assert_eq!(a.disk_imbalance(), 0.0);
+    }
+}

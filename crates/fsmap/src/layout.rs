@@ -1,0 +1,265 @@
+//! The extent-based file-system layout model.
+//!
+//! Files are carved into fixed-size **extents** of file-system blocks;
+//! extents are allocated on demand, round-robin across the disk farm per
+//! file, and bump-allocated within each disk. One **indirect block** of
+//! metadata maps each `ptrs_per_block` data blocks; the first touch of a
+//! region requires reading it.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Layout parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FsConfig {
+    /// File-system block size in bytes (must be a multiple of the trace
+    /// format's 512-byte unit).
+    pub block_size: u64,
+    /// Extent size in FS blocks (contiguous-on-disk run).
+    pub extent_blocks: u64,
+    /// Number of disks in the farm.
+    pub n_disks: u32,
+    /// Data-block pointers per indirect block (determines metadata I/O
+    /// frequency).
+    pub ptrs_per_block: u64,
+}
+
+impl Default for FsConfig {
+    fn default() -> Self {
+        FsConfig {
+            block_size: 4096,
+            extent_blocks: 64, // 256 KB extents
+            n_disks: 8,
+            ptrs_per_block: 1024,
+        }
+    }
+}
+
+impl FsConfig {
+    /// Validate invariants.
+    pub fn validate(&self) {
+        assert!(
+            self.block_size >= 512 && self.block_size.is_multiple_of(512),
+            "FS block must be a multiple of 512"
+        );
+        assert!(self.extent_blocks > 0, "extent must hold at least one block");
+        assert!(self.n_disks > 0, "need at least one disk");
+        assert!(self.ptrs_per_block > 0, "indirect blocks must map something");
+    }
+}
+
+/// A contiguous run of physical blocks on one disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhysRun {
+    /// Disk identifier (the physical record's `fileId`).
+    pub disk: u32,
+    /// Byte address on the disk (block aligned).
+    pub addr: u64,
+    /// Length in bytes (block aligned).
+    pub len: u64,
+}
+
+/// The mutable layout state: per-file extent maps and per-disk
+/// allocation cursors.
+#[derive(Debug)]
+pub struct FsLayout {
+    config: FsConfig,
+    /// file id → extents, indexed by extent ordinal within the file;
+    /// each entry is (disk, starting byte address on that disk).
+    extents: HashMap<u32, Vec<(u32, u64)>>,
+    /// Next free byte address per disk.
+    alloc: Vec<u64>,
+    /// Indirect-block regions already read, per file: region ordinal set.
+    meta_loaded: HashMap<u32, std::collections::HashSet<u64>>,
+    /// Where each file's metadata lives (allocated on first need).
+    meta_addr: HashMap<(u32, u64), PhysRun>,
+}
+
+impl FsLayout {
+    /// An empty layout.
+    pub fn new(config: FsConfig) -> Self {
+        config.validate();
+        let n = config.n_disks as usize;
+        FsLayout {
+            config,
+            extents: HashMap::new(),
+            alloc: vec![0; n],
+            meta_loaded: HashMap::new(),
+            meta_addr: HashMap::new(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &FsConfig {
+        &self.config
+    }
+
+    fn extent_bytes(&self) -> u64 {
+        self.config.extent_blocks * self.config.block_size
+    }
+
+    /// Ensure the extent covering file-relative byte `offset` exists and
+    /// return (disk, disk byte address of the extent's start).
+    fn extent_for(&mut self, file: u32, offset: u64) -> (u32, u64) {
+        let eb = self.extent_bytes();
+        let ordinal = (offset / eb) as usize;
+        let n_disks = self.config.n_disks;
+        let entry = self.extents.entry(file).or_default();
+        while entry.len() <= ordinal {
+            // Round-robin across disks per file, offset by the file id so
+            // different files start on different spindles.
+            let disk = (file as usize + entry.len()) % n_disks as usize;
+            let addr = self.alloc[disk];
+            self.alloc[disk] += eb;
+            entry.push((disk as u32, addr));
+        }
+        entry[ordinal]
+    }
+
+    /// Map a logical byte range of a file onto physical runs,
+    /// block-aligning both ends (a partial block touch moves the whole
+    /// block). Runs on one disk crossing extent boundaries are split.
+    pub fn map_range(&mut self, file: u32, offset: u64, length: u64) -> Vec<PhysRun> {
+        if length == 0 {
+            return Vec::new();
+        }
+        let bs = self.config.block_size;
+        let eb = self.extent_bytes();
+        let start = (offset / bs) * bs;
+        let end = (offset + length).div_ceil(bs) * bs;
+        let mut runs: Vec<PhysRun> = Vec::new();
+        let mut pos = start;
+        while pos < end {
+            let within = pos % eb;
+            let chunk = (eb - within).min(end - pos);
+            let (disk, base) = self.extent_for(file, pos);
+            let addr = base + within;
+            match runs.last_mut() {
+                Some(r) if r.disk == disk && r.addr + r.len == addr => r.len += chunk,
+                _ => runs.push(PhysRun { disk, addr, len: chunk }),
+            }
+            pos += chunk;
+        }
+        runs
+    }
+
+    /// Metadata (indirect-block) reads needed before touching the given
+    /// range: at most one FS block per pointer region, only on first
+    /// touch. Returns the physical runs to read.
+    pub fn metadata_for(&mut self, file: u32, offset: u64, length: u64) -> Vec<PhysRun> {
+        if length == 0 {
+            return Vec::new();
+        }
+        let bs = self.config.block_size;
+        let region_bytes = self.config.ptrs_per_block * bs;
+        let first = offset / region_bytes;
+        let last = (offset + length - 1) / region_bytes;
+        let mut out = Vec::new();
+        for region in first..=last {
+            let loaded = self.meta_loaded.entry(file).or_default();
+            if loaded.insert(region) {
+                let n_disks = self.config.n_disks as usize;
+                let run = *self.meta_addr.entry((file, region)).or_insert_with(|| {
+                    // Metadata lives near the front of the file's home
+                    // disk.
+                    let disk = file as usize % n_disks;
+                    let addr = self.alloc[disk];
+                    self.alloc[disk] += bs;
+                    PhysRun { disk: disk as u32, addr, len: bs }
+                });
+                out.push(run);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> FsLayout {
+        FsLayout::new(FsConfig::default())
+    }
+
+    #[test]
+    fn mapping_covers_and_aligns() {
+        let mut l = layout();
+        let runs = l.map_range(1, 1000, 10_000);
+        let total: u64 = runs.iter().map(|r| r.len).sum();
+        // [1000, 11000) block-aligns to [0, 12288) = 3 FS blocks.
+        assert_eq!(total, 3 * 4096);
+        for r in &runs {
+            assert_eq!(r.addr % 4096, 0);
+            assert_eq!(r.len % 4096, 0);
+        }
+    }
+
+    #[test]
+    fn same_range_maps_identically_twice() {
+        let mut l = layout();
+        let a = l.map_range(1, 0, 300_000);
+        let b = l.map_range(1, 0, 300_000);
+        assert_eq!(a, b, "layout must be stable");
+    }
+
+    #[test]
+    fn extents_rotate_across_disks() {
+        let mut l = layout();
+        // 3 extents' worth = 768 KB spans three disks.
+        let runs = l.map_range(1, 0, 3 * 64 * 4096);
+        let disks: Vec<u32> = runs.iter().map(|r| r.disk).collect();
+        assert_eq!(runs.len(), 3, "one run per extent: {runs:?}");
+        assert_eq!(disks.len(), 3);
+        assert!(disks.windows(2).all(|w| w[0] != w[1]), "extents must rotate disks");
+    }
+
+    #[test]
+    fn different_files_do_not_collide() {
+        let mut l = layout();
+        let a = l.map_range(1, 0, 64 * 4096);
+        let b = l.map_range(2, 0, 64 * 4096);
+        for ra in &a {
+            for rb in &b {
+                if ra.disk == rb.disk {
+                    let overlap = ra.addr < rb.addr + rb.len && rb.addr < ra.addr + ra.len;
+                    assert!(!overlap, "files share disk blocks: {ra:?} vs {rb:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn metadata_read_once_per_region() {
+        let mut l = layout();
+        let m1 = l.metadata_for(1, 0, 4096);
+        assert_eq!(m1.len(), 1, "first touch loads the indirect block");
+        let m2 = l.metadata_for(1, 8192, 4096);
+        assert!(m2.is_empty(), "same region already loaded");
+        // A far region needs its own indirect block.
+        let far = 1024 * 4096 * 3;
+        let m3 = l.metadata_for(1, far, 4096);
+        assert_eq!(m3.len(), 1);
+    }
+
+    #[test]
+    fn range_spanning_regions_loads_each() {
+        let mut l = layout();
+        let region = 1024 * 4096;
+        let m = l.metadata_for(1, region - 4096, 3 * 4096);
+        assert_eq!(m.len(), 2, "range straddles two pointer regions");
+    }
+
+    #[test]
+    fn zero_length_is_empty() {
+        let mut l = layout();
+        assert!(l.map_range(1, 500, 0).is_empty());
+        assert!(l.metadata_for(1, 500, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 512")]
+    fn bad_block_size_rejected() {
+        FsLayout::new(FsConfig { block_size: 1000, ..Default::default() });
+    }
+}

@@ -1,0 +1,231 @@
+//! The logical → physical expansion.
+//!
+//! For each logical record the translator emits, in order:
+//!
+//! 1. first-touch **metadata** reads (`TRACE_META_DATA`, physical scope,
+//!    sharing the logical record's `operationId`),
+//! 2. the **logical record itself**, stamped with a fresh nonzero
+//!    `operationId`,
+//! 3. the **physical data records** covering its block-aligned byte
+//!    range, one per contiguous disk run, again sharing the
+//!    `operationId` — exactly the linkage the appendix defines ("The
+//!    logical record for that system call … can then be associated with
+//!    all of the physical I/Os it generated. This shows the translation
+//!    from a logical file position to physical disk blocks").
+//!
+//! Physical records carry the disk id in `fileId` (the appendix: "for
+//! physical records, fileId is an identifier for the disk written to")
+//! and block-aligned device addresses. Their start times share the
+//! logical record's start; completions split the logical completion
+//! evenly, keeping the trace time-ordered and the wall-clock story
+//! consistent.
+
+use crate::layout::FsLayout;
+use iotrace::{DataKind, Direction, Scope, Trace, TraceItem};
+use sim_core::SimDuration;
+
+/// Expand a logical trace into a mixed logical + physical trace.
+/// Records already physical are passed through untouched; comments are
+/// preserved.
+pub fn translate(trace: &Trace, layout: &mut FsLayout) -> Trace {
+    let mut out = Trace::new();
+    let mut next_op: u32 = 1;
+    for item in trace.items() {
+        match item {
+            TraceItem::Comment(c) => out.push_comment(c.clone()),
+            TraceItem::Io(ev) if ev.scope == Scope::Physical => out.push(*ev),
+            TraceItem::Io(ev) => {
+                let op_id = next_op;
+                next_op = next_op.wrapping_add(1).max(1);
+
+                // 1. Metadata loads (reads, regardless of the logical
+                //    direction — the FS must locate the blocks).
+                for m in layout.metadata_for(ev.file_id, ev.offset, ev.length) {
+                    let mut meta = *ev;
+                    meta.scope = Scope::Physical;
+                    meta.kind = DataKind::MetaData;
+                    meta.dir = Direction::Read;
+                    meta.file_id = m.disk;
+                    meta.offset = m.addr;
+                    meta.length = m.len;
+                    meta.op_id = op_id;
+                    meta.completion = SimDuration::ZERO;
+                    meta.process_time = SimDuration::ZERO;
+                    out.push(meta);
+                }
+
+                // 2. The logical record, op-id stamped.
+                let mut logical = *ev;
+                logical.op_id = op_id;
+                out.push(logical);
+
+                // 3. Physical data records.
+                let runs = layout.map_range(ev.file_id, ev.offset, ev.length);
+                let n = runs.len().max(1) as u64;
+                for r in runs {
+                    let mut phys = *ev;
+                    phys.scope = Scope::Physical;
+                    phys.kind = DataKind::FileData;
+                    phys.file_id = r.disk;
+                    phys.offset = r.addr;
+                    phys.length = r.len;
+                    phys.op_id = op_id;
+                    phys.completion = ev.completion / n;
+                    phys.process_time = SimDuration::ZERO;
+                    out.push(phys);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::FsConfig;
+    use iotrace::{read_trace, write_trace, IoEvent, Synchrony};
+    use sim_core::SimTime;
+
+    fn logical_trace() -> Trace {
+        let mut t = Trace::new();
+        t.push_comment("test trace");
+        for i in 0..10u64 {
+            let mut e = IoEvent::logical(
+                if i % 2 == 0 { Direction::Read } else { Direction::Write },
+                1,
+                1 + (i % 2) as u32,
+                i * 100_000,
+                50_000,
+                SimTime::from_ticks(i * 10_000),
+                SimDuration::from_ticks(5_000),
+            );
+            e.completion = SimDuration::from_ticks(2_000);
+            t.push(e);
+        }
+        t
+    }
+
+    fn translated() -> Trace {
+        let mut layout = FsLayout::new(FsConfig::default());
+        translate(&logical_trace(), &mut layout)
+    }
+
+    #[test]
+    fn every_logical_record_survives_with_op_id() {
+        let out = translated();
+        let logical: Vec<_> =
+            out.events().filter(|e| e.scope == Scope::Logical).collect();
+        assert_eq!(logical.len(), 10);
+        for e in &logical {
+            assert!(e.op_id > 0, "logical records must carry a fresh op id");
+        }
+        // Op ids are unique per logical record.
+        let mut ids: Vec<u32> = logical.iter().map(|e| e.op_id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 10);
+    }
+
+    #[test]
+    fn physical_records_cover_logical_ranges() {
+        let out = translated();
+        for log in out.events().filter(|e| e.scope == Scope::Logical) {
+            let phys_bytes: u64 = out
+                .events()
+                .filter(|p| {
+                    p.scope == Scope::Physical
+                        && p.op_id == log.op_id
+                        && p.kind == DataKind::FileData
+                })
+                .map(|p| p.length)
+                .sum();
+            assert!(
+                phys_bytes >= log.length,
+                "op {}: physical {} < logical {}",
+                log.op_id,
+                phys_bytes,
+                log.length
+            );
+            // Alignment can add at most two FS blocks.
+            assert!(phys_bytes <= log.length + 2 * 4096);
+        }
+    }
+
+    #[test]
+    fn physical_records_are_block_aligned_and_disk_addressed() {
+        let out = translated();
+        for p in out.events().filter(|e| e.scope == Scope::Physical) {
+            assert_eq!(p.offset % 512, 0);
+            assert_eq!(p.length % 512, 0);
+            assert!(p.file_id < 8, "physical fileId is a disk id");
+        }
+    }
+
+    #[test]
+    fn metadata_reads_appear_once_per_region() {
+        let out = translated();
+        let metas: Vec<_> = out
+            .events()
+            .filter(|e| e.kind == DataKind::MetaData)
+            .collect();
+        // Two files, all accesses within one pointer region each.
+        assert_eq!(metas.len(), 2);
+        for m in metas {
+            assert_eq!(m.dir, Direction::Read, "metadata loads are reads");
+            assert_eq!(m.scope, Scope::Physical);
+        }
+    }
+
+    #[test]
+    fn mixed_trace_round_trips_through_the_codec() {
+        let out = translated();
+        assert!(out.is_time_ordered());
+        let mut buf = Vec::new();
+        write_trace(&out, &mut buf).expect("encode mixed trace");
+        let back = read_trace(std::io::Cursor::new(buf)).expect("decode mixed trace");
+        assert_eq!(back, out);
+    }
+
+    #[test]
+    fn already_physical_records_pass_through() {
+        let mut t = Trace::new();
+        let mut e = IoEvent::logical(
+            Direction::Read,
+            1,
+            3,
+            4096,
+            512,
+            SimTime::ZERO,
+            SimDuration::ZERO,
+        );
+        e.scope = Scope::Physical;
+        e.sync = Synchrony::Sync;
+        t.push(e);
+        let mut layout = FsLayout::new(FsConfig::default());
+        let out = translate(&t, &mut layout);
+        assert_eq!(out.io_count(), 1);
+        assert_eq!(out.events().next().unwrap(), &e);
+    }
+
+    #[test]
+    fn comments_are_preserved() {
+        let out = translated();
+        assert!(out
+            .items()
+            .iter()
+            .any(|i| matches!(i, TraceItem::Comment(c) if c == "test trace")));
+    }
+
+    #[test]
+    fn direction_and_sync_flow_to_physical_data_records() {
+        let out = translated();
+        for log in out.events().filter(|e| e.scope == Scope::Logical) {
+            for p in out.events().filter(|p| {
+                p.scope == Scope::Physical && p.op_id == log.op_id && p.kind == DataKind::FileData
+            }) {
+                assert_eq!(p.dir, log.dir);
+                assert_eq!(p.sync, log.sync);
+            }
+        }
+    }
+}

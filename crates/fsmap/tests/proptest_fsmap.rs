@@ -1,0 +1,108 @@
+//! Property tests: translation coverage, linkage, and codec
+//! compatibility hold for arbitrary logical traces and layout geometries.
+
+use fs_map::{measure, translate, FsConfig, FsLayout};
+use iotrace::{read_trace, write_trace, DataKind, Direction, IoEvent, Scope, Trace};
+use proptest::prelude::*;
+use sim_core::{SimDuration, SimTime};
+
+fn arb_config() -> impl Strategy<Value = FsConfig> {
+    (
+        prop::sample::select(vec![512u64, 4096, 8192]),
+        prop::sample::select(vec![8u64, 64, 256]),
+        1u32..8,
+        prop::sample::select(vec![64u64, 1024]),
+    )
+        .prop_map(|(block_size, extent_blocks, n_disks, ptrs_per_block)| FsConfig {
+            block_size,
+            extent_blocks,
+            n_disks,
+            ptrs_per_block,
+        })
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    proptest::collection::vec(
+        (1u32..5, 0u64..5_000_000, 1u64..300_000, any::<bool>()),
+        1..80,
+    )
+    .prop_map(|accesses| {
+        let mut t = Trace::new();
+        for (i, (file, offset, len, write)) in accesses.into_iter().enumerate() {
+            t.push(IoEvent::logical(
+                if write { Direction::Write } else { Direction::Read },
+                1,
+                file,
+                offset,
+                len,
+                SimTime::from_ticks(i as u64 * 1000),
+                SimDuration::from_ticks(500),
+            ));
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn translation_invariants(config in arb_config(), trace in arb_trace()) {
+        let bs = config.block_size;
+        let n_disks = config.n_disks;
+        let mut layout = FsLayout::new(config);
+        let mixed = translate(&trace, &mut layout);
+
+        // Logical records survive verbatim apart from the op id.
+        let logical: Vec<&IoEvent> =
+            mixed.events().filter(|e| e.scope == Scope::Logical).collect();
+        let originals: Vec<&IoEvent> = trace.events().collect();
+        prop_assert_eq!(logical.len(), originals.len());
+        for (l, o) in logical.iter().zip(&originals) {
+            prop_assert_eq!(l.offset, o.offset);
+            prop_assert_eq!(l.length, o.length);
+            prop_assert_eq!(l.dir, o.dir);
+            prop_assert!(l.op_id > 0);
+        }
+
+        // Physical coverage: per op, data bytes cover the logical range
+        // with at most block rounding.
+        for l in &logical {
+            let phys: u64 = mixed
+                .events()
+                .filter(|p| p.scope == Scope::Physical
+                    && p.op_id == l.op_id
+                    && p.kind == DataKind::FileData)
+                .map(|p| p.length)
+                .sum();
+            prop_assert!(phys >= l.length);
+            prop_assert!(phys < l.length + 2 * bs);
+        }
+
+        // All physical records block-aligned and on valid disks.
+        for p in mixed.events().filter(|e| e.scope == Scope::Physical) {
+            prop_assert_eq!(p.offset % 512, 0);
+            prop_assert_eq!(p.length % 512, 0);
+            prop_assert!(p.file_id < n_disks);
+        }
+
+        // The mixed trace stays codec-clean.
+        prop_assert!(mixed.is_time_ordered());
+        let mut buf = Vec::new();
+        write_trace(&mixed, &mut buf).unwrap();
+        let back = read_trace(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(back, mixed.clone());
+
+        // Amplification bookkeeping agrees with the raw trace.
+        let amp = measure(&mixed);
+        prop_assert_eq!(amp.logical_ios as usize, originals.len());
+        prop_assert!(amp.data_amplification() >= 1.0);
+    }
+
+    #[test]
+    fn translation_is_deterministic(config in arb_config(), trace in arb_trace()) {
+        let a = translate(&trace, &mut FsLayout::new(config.clone()));
+        let b = translate(&trace, &mut FsLayout::new(config));
+        prop_assert_eq!(a, b);
+    }
+}

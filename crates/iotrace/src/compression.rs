@@ -1,0 +1,244 @@
+//! Compression accounting: how well the format's field-inference and
+//! block-scaling flags work on a given trace, and the appendix's
+//! ASCII-vs-binary comparison.
+//!
+//! "Surprisingly, text traces were shorter than binary traces. This
+//! savings occurred by converting integers which took 4 bytes in binary
+//! format into variable-length printed ASCII. Since many values were
+//! only 1 or 2 printed characters, this conversion saved space."
+//! (appendix). [`measure`] quantifies both effects for a concrete trace.
+
+use crate::codec::TraceEncoder;
+use crate::error::TraceError;
+use crate::flags::{
+    TRACE_LENGTH_IN_BLOCKS, TRACE_NO_BLOCK, TRACE_NO_FILEID, TRACE_NO_LENGTH,
+    TRACE_NO_OPERATIONID, TRACE_NO_PROCESSID, TRACE_OFFSET_IN_BLOCKS,
+};
+use crate::record::TraceItem;
+use crate::stream::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Size of one fixed-width binary record: the appendix `struct
+/// traceRecord` packs 2×u16 + 2×u32 + 2×u64 + 4×u32 = 44 bytes.
+pub const BINARY_RECORD_BYTES: u64 = 44;
+
+/// Compression statistics for one encoded trace.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CompressionReport {
+    /// I/O records encoded (comments excluded).
+    pub records: u64,
+    /// Total encoded ASCII bytes (including newlines).
+    pub ascii_bytes: u64,
+    /// Bytes a fixed-width binary encoding would take.
+    pub binary_bytes: u64,
+    /// Records that omitted the offset (sequential inference).
+    pub no_offset: u64,
+    /// Records that omitted the length (same-as-previous inference).
+    pub no_length: u64,
+    /// Records that omitted the file id.
+    pub no_fileid: u64,
+    /// Records that omitted the process id.
+    pub no_processid: u64,
+    /// Records that omitted the operation id.
+    pub no_operationid: u64,
+    /// Records whose offset was stored in 512-byte blocks.
+    pub offset_in_blocks: u64,
+    /// Records whose length was stored in 512-byte blocks.
+    pub length_in_blocks: u64,
+    /// Printed integer fields of 1–2 characters.
+    pub short_fields: u64,
+    /// All printed integer fields.
+    pub total_fields: u64,
+}
+
+impl CompressionReport {
+    /// Mean encoded bytes per record.
+    pub fn bytes_per_record(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.ascii_bytes as f64 / self.records as f64
+        }
+    }
+
+    /// Fraction saved versus the fixed binary layout; positive when the
+    /// appendix's claim (text beats binary) holds for this trace.
+    pub fn savings_vs_binary(&self) -> f64 {
+        if self.binary_bytes == 0 {
+            0.0
+        } else {
+            1.0 - self.ascii_bytes as f64 / self.binary_bytes as f64
+        }
+    }
+
+    /// Fraction of records whose offset compressed away — the
+    /// sequentiality the format was designed around.
+    pub fn sequential_fraction(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.no_offset as f64 / self.records as f64
+        }
+    }
+
+    /// Fraction of printed fields that are 1–2 characters (the appendix's
+    /// explanation for ASCII beating binary).
+    pub fn short_field_fraction(&self) -> f64 {
+        if self.total_fields == 0 {
+            0.0
+        } else {
+            self.short_fields as f64 / self.total_fields as f64
+        }
+    }
+}
+
+/// Encode `trace` and measure the compression achieved.
+pub fn measure(trace: &Trace) -> Result<CompressionReport, TraceError> {
+    let mut enc = TraceEncoder::new();
+    let mut report = CompressionReport::default();
+    for item in trace.items() {
+        let line = enc.encode(item)?;
+        if let TraceItem::Comment(_) = item {
+            continue; // comments aren't records; skip the accounting
+        }
+        report.records += 1;
+        report.ascii_bytes += line.len() as u64 + 1; // + newline
+        report.binary_bytes += BINARY_RECORD_BYTES;
+        let mut fields = line.split_ascii_whitespace();
+        let _record_type = fields.next();
+        let comp: u16 = fields
+            .next()
+            .and_then(|f| f.parse().ok())
+            .unwrap_or(0);
+        if comp & TRACE_NO_BLOCK != 0 {
+            report.no_offset += 1;
+        }
+        if comp & TRACE_NO_LENGTH != 0 {
+            report.no_length += 1;
+        }
+        if comp & TRACE_NO_FILEID != 0 {
+            report.no_fileid += 1;
+        }
+        if comp & TRACE_NO_PROCESSID != 0 {
+            report.no_processid += 1;
+        }
+        if comp & TRACE_NO_OPERATIONID != 0 {
+            report.no_operationid += 1;
+        }
+        if comp & TRACE_OFFSET_IN_BLOCKS != 0 {
+            report.offset_in_blocks += 1;
+        }
+        if comp & TRACE_LENGTH_IN_BLOCKS != 0 {
+            report.length_in_blocks += 1;
+        }
+        for f in line.split_ascii_whitespace() {
+            report.total_fields += 1;
+            if f.len() <= 2 {
+                report.short_fields += 1;
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flags::Direction;
+    use crate::record::IoEvent;
+    use sim_core::{SimDuration, SimTime};
+
+    fn sequential_trace(n: u64) -> Trace {
+        let mut t = Trace::new();
+        for i in 0..n {
+            t.push(IoEvent::logical(
+                Direction::Read,
+                1,
+                1,
+                i * 4096,
+                4096,
+                SimTime::from_ticks(i * 50),
+                SimDuration::from_ticks(50),
+            ));
+        }
+        t
+    }
+
+    #[test]
+    fn sequential_trace_compresses_hard() {
+        let r = measure(&sequential_trace(1000)).unwrap();
+        assert_eq!(r.records, 1000);
+        // All but the first record omit offset, length, file and process.
+        assert_eq!(r.no_offset, 999);
+        assert_eq!(r.no_length, 999);
+        assert_eq!(r.no_fileid, 999);
+        assert_eq!(r.no_processid, 999);
+        assert!(r.sequential_fraction() > 0.99);
+        // And the appendix's claim holds: text beats 44-byte binary.
+        assert!(
+            r.savings_vs_binary() > 0.5,
+            "ASCII should save >50% vs binary, got {:.2}",
+            r.savings_vs_binary()
+        );
+        assert!(r.bytes_per_record() < 18.0, "got {}", r.bytes_per_record());
+    }
+
+    #[test]
+    fn random_trace_compresses_less() {
+        let mut t = Trace::new();
+        for i in 0..500u64 {
+            t.push(IoEvent::logical(
+                Direction::Read,
+                1,
+                1 + (i % 7) as u32,
+                (i * 7919 + 13) % 1_000_000,
+                100 + (i % 77) * 13,
+                SimTime::from_ticks(i * 50),
+                SimDuration::from_ticks(50),
+            ));
+        }
+        let random = measure(&t).unwrap();
+        let seq = measure(&sequential_trace(500)).unwrap();
+        assert!(
+            random.bytes_per_record() > seq.bytes_per_record(),
+            "random {} should exceed sequential {}",
+            random.bytes_per_record(),
+            seq.bytes_per_record()
+        );
+        assert!(random.sequential_fraction() < 0.05);
+    }
+
+    #[test]
+    fn block_scaling_is_counted() {
+        let r = measure(&sequential_trace(10)).unwrap();
+        // The first record carries offset (0, scaled) and length (4096 =
+        // 8 blocks, scaled).
+        assert_eq!(r.offset_in_blocks, 1);
+        assert_eq!(r.length_in_blocks, 1);
+    }
+
+    #[test]
+    fn short_fields_dominate_compressed_traces() {
+        let r = measure(&sequential_trace(1000)).unwrap();
+        assert!(
+            r.short_field_fraction() > 0.4,
+            "short-field fraction {:.2}",
+            r.short_field_fraction()
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_benign() {
+        let r = measure(&Trace::new()).unwrap();
+        assert_eq!(r.bytes_per_record(), 0.0);
+        assert_eq!(r.savings_vs_binary(), 0.0);
+    }
+
+    #[test]
+    fn comments_do_not_count_as_records() {
+        let mut t = sequential_trace(5);
+        t.push_comment("a note");
+        let r = measure(&t).unwrap();
+        assert_eq!(r.records, 5);
+    }
+}

@@ -1,0 +1,123 @@
+//! Error type for trace encoding and decoding.
+
+use std::fmt;
+
+/// Everything that can go wrong reading or writing a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying I/O error from the reader/writer.
+    Io(std::io::Error),
+    /// A line had the wrong number of fields for its compression flags.
+    FieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// Fields expected given the flags.
+        expected: usize,
+        /// Fields actually present.
+        found: usize,
+    },
+    /// A field failed to parse as an integer.
+    BadInteger {
+        /// 1-based line number.
+        line: usize,
+        /// Name of the offending field.
+        field: &'static str,
+    },
+    /// The recordType value had undefined bits set.
+    BadRecordType {
+        /// 1-based line number.
+        line: usize,
+        /// The raw value.
+        bits: u16,
+    },
+    /// The compression value had undefined bits or contradictory flags.
+    BadCompression {
+        /// 1-based line number.
+        line: usize,
+        /// The raw value.
+        bits: u16,
+    },
+    /// A record omitted a field (via a compression flag) but no previous
+    /// record establishes its value.
+    MissingContext {
+        /// 1-based line number.
+        line: usize,
+        /// Name of the field that could not be inferred.
+        field: &'static str,
+    },
+    /// A value exceeded the field width the format allows (offset/length
+    /// are 32-bit, possibly block-scaled).
+    FieldOverflow {
+        /// Name of the field.
+        field: &'static str,
+        /// The value that did not fit.
+        value: u64,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::FieldCount { line, expected, found } => write!(
+                f,
+                "line {line}: expected {expected} fields for the compression flags, found {found}"
+            ),
+            TraceError::BadInteger { line, field } => {
+                write!(f, "line {line}: field `{field}` is not a valid integer")
+            }
+            TraceError::BadRecordType { line, bits } => {
+                write!(f, "line {line}: invalid recordType bits 0x{bits:x}")
+            }
+            TraceError::BadCompression { line, bits } => {
+                write!(f, "line {line}: invalid compression bits 0x{bits:x}")
+            }
+            TraceError::MissingContext { line, field } => write!(
+                f,
+                "line {line}: field `{field}` omitted but no previous record establishes it"
+            ),
+            TraceError::FieldOverflow { field, value } => {
+                write!(f, "field `{field}` value {value} exceeds the format's 32-bit width")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TraceError::FieldCount { line: 3, expected: 7, found: 5 };
+        assert!(e.to_string().contains("line 3"));
+        assert!(e.to_string().contains('7'));
+        let e = TraceError::MissingContext { line: 1, field: "fileId" };
+        assert!(e.to_string().contains("fileId"));
+        let e = TraceError::FieldOverflow { field: "offset", value: u64::MAX };
+        assert!(e.to_string().contains("offset"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        use std::error::Error;
+        let e: TraceError = std::io::Error::other("boom").into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("boom"));
+    }
+}

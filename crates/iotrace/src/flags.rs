@@ -1,0 +1,428 @@
+//! Bit-level flag definitions, verbatim from the appendix's `iotrace.h`,
+//! plus typed views over them.
+//!
+//! The raw `recordType` field packs: a 2-bit data-kind code, the
+//! logical/physical bit (0x80), the read/write bit (0x40), the sync/async
+//! bit (0x08), and two optional analysis-only bits recording whether the
+//! request hit the cache (0x20 = miss) and whether a hit was on a
+//! read-ahead block (0x10). The special value 0xff marks a comment record.
+//!
+//! The raw `compression` field packs the block-scaling flags (0x01/0x02)
+//! and the five field-omission flags.
+
+use serde::{Deserialize, Serialize};
+
+/// `TRACE_BLOCK_SIZE` from the appendix: offsets/lengths may be stored in
+/// units of 512-byte blocks.
+pub const TRACE_BLOCK_SIZE: u64 = 512;
+
+// ---- recordType bits (appendix) -------------------------------------------
+
+/// file (user) data
+pub const TRACE_FILE_DATA: u16 = 0x0;
+/// metadata, such as indirect blocks
+pub const TRACE_META_DATA: u16 = 0x1;
+/// readahead blocks requested by the file system
+pub const TRACE_READAHEAD: u16 = 0x2;
+/// blocks requested by VM paging
+pub const TRACE_VIRTUAL_MEM: u16 = 0x3;
+/// mask for the 2-bit data-kind code
+pub const TRACE_KIND_MASK: u16 = 0x3;
+
+/// logical record marker
+pub const TRACE_LOGICAL_RECORD: u16 = 0x80;
+/// physical record marker (absence of the logical bit)
+pub const TRACE_PHYSICAL_RECORD: u16 = 0x00;
+
+/// read request (absence of the write bit)
+pub const TRACE_READ: u16 = 0x00;
+/// write request
+pub const TRACE_WRITE: u16 = 0x40;
+
+/// synchronous request (absence of the async bit)
+pub const TRACE_SYNC: u16 = 0x00;
+/// asynchronous request
+pub const TRACE_ASYNC: u16 = 0x08;
+
+/// request satisfied in the cache (absence of the miss bit)
+pub const TRACE_CACHE_HIT: u16 = 0x00;
+/// request needed disk blocks
+pub const TRACE_CACHE_MISS: u16 = 0x20;
+
+/// cache hit was on a readahead block
+pub const TRACE_RA_HIT: u16 = 0x10;
+/// cache hit was not on a readahead block
+pub const TRACE_RA_MISS: u16 = 0x00;
+
+/// comment record: ignored by simulators, used for human-readable notes
+/// such as fileId-to-name correspondences
+pub const TRACE_COMMENT: u16 = 0xff;
+
+/// All recordType bits a valid (non-comment) record may set.
+pub const TRACE_RECORD_TYPE_VALID_MASK: u16 = TRACE_KIND_MASK
+    | TRACE_LOGICAL_RECORD
+    | TRACE_WRITE
+    | TRACE_ASYNC
+    | TRACE_CACHE_MISS
+    | TRACE_RA_HIT;
+
+// ---- compression bits (appendix) -------------------------------------------
+
+/// offset field is stored divided by `TRACE_BLOCK_SIZE`
+pub const TRACE_OFFSET_IN_BLOCKS: u16 = 0x01;
+/// length field is stored divided by `TRACE_BLOCK_SIZE`
+pub const TRACE_LENGTH_IN_BLOCKS: u16 = 0x02;
+/// length omitted: take from previous record of this file
+pub const TRACE_NO_LENGTH: u16 = 0x04;
+/// processId omitted: take from previous record in trace
+pub const TRACE_NO_PROCESSID: u16 = 0x08;
+/// operationId omitted: take from previous record of this file
+pub const TRACE_NO_OPERATIONID: u16 = 0x20;
+/// offset omitted: sequential with previous access to this file
+/// (previous record's starting offset + length)
+pub const TRACE_NO_BLOCK: u16 = 0x40;
+/// fileId omitted: take from previous record by this process
+pub const TRACE_NO_FILEID: u16 = 0x80;
+
+/// All compression bits defined by the format.
+pub const TRACE_COMPRESSION_VALID_MASK: u16 = TRACE_OFFSET_IN_BLOCKS
+    | TRACE_LENGTH_IN_BLOCKS
+    | TRACE_NO_LENGTH
+    | TRACE_NO_PROCESSID
+    | TRACE_NO_OPERATIONID
+    | TRACE_NO_BLOCK
+    | TRACE_NO_FILEID;
+
+// ---- typed views -----------------------------------------------------------
+
+/// What kind of data a record's blocks carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataKind {
+    /// Ordinary file (user) data.
+    FileData,
+    /// File-system metadata such as indirect blocks.
+    MetaData,
+    /// Blocks fetched by file-system read-ahead.
+    ReadAhead,
+    /// Blocks moved by virtual-memory paging.
+    VirtualMem,
+}
+
+impl DataKind {
+    /// The 2-bit code for this kind.
+    pub fn code(self) -> u16 {
+        match self {
+            DataKind::FileData => TRACE_FILE_DATA,
+            DataKind::MetaData => TRACE_META_DATA,
+            DataKind::ReadAhead => TRACE_READAHEAD,
+            DataKind::VirtualMem => TRACE_VIRTUAL_MEM,
+        }
+    }
+
+    /// Decode the 2-bit code (masking off other bits).
+    pub fn from_code(code: u16) -> DataKind {
+        match code & TRACE_KIND_MASK {
+            TRACE_FILE_DATA => DataKind::FileData,
+            TRACE_META_DATA => DataKind::MetaData,
+            TRACE_READAHEAD => DataKind::ReadAhead,
+            _ => DataKind::VirtualMem,
+        }
+    }
+}
+
+/// Whether a record describes a logical (file-level) or physical
+/// (disk-level) I/O. The meaning of `offset`/`length` depends on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scope {
+    /// File-level: offset is a byte offset into the file.
+    Logical,
+    /// Disk-level: offset is a physical block address.
+    Physical,
+}
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Data flows from storage to the application.
+    Read,
+    /// Data flows from the application to storage.
+    Write,
+}
+
+impl Direction {
+    /// True for [`Direction::Read`].
+    pub fn is_read(self) -> bool {
+        matches!(self, Direction::Read)
+    }
+}
+
+/// Whether the request blocked the issuing process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Synchrony {
+    /// The process waits for completion.
+    Sync,
+    /// The process continues and may reap completion later (les was the
+    /// only traced program using these explicitly, §6.2).
+    Async,
+}
+
+/// Optional analysis-only cache annotation (the appendix's
+/// `TRACE_CACHE_HIT/MISS` + `TRACE_RA_HIT/MISS` bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CacheOutcome {
+    /// Satisfied from the cache, not from a read-ahead block.
+    Hit,
+    /// Satisfied from a block the file system had read ahead.
+    ReadAheadHit,
+    /// Required disk blocks.
+    Miss,
+}
+
+/// A decoded view of the `recordType` field of a non-comment record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecordType {
+    /// Data kind (2-bit code).
+    pub kind: DataKind,
+    /// Logical vs physical.
+    pub scope: Scope,
+    /// Read vs write.
+    pub dir: Direction,
+    /// Sync vs async.
+    pub sync: Synchrony,
+    /// Optional cache annotation. `Hit`/`ReadAheadHit`/`Miss` map onto the
+    /// appendix's optional analysis bits; traces gathered without cache
+    /// observation leave them at the default (hit, non-RA), so decoding is
+    /// lossy in the sense that "unannotated" and "plain hit" share an
+    /// encoding — exactly as in the original format.
+    pub cache: CacheOutcome,
+}
+
+impl RecordType {
+    /// Pack into the raw 16-bit `recordType` value.
+    pub fn to_bits(self) -> u16 {
+        let mut bits = self.kind.code();
+        if self.scope == Scope::Logical {
+            bits |= TRACE_LOGICAL_RECORD;
+        }
+        if self.dir == Direction::Write {
+            bits |= TRACE_WRITE;
+        }
+        if self.sync == Synchrony::Async {
+            bits |= TRACE_ASYNC;
+        }
+        match self.cache {
+            CacheOutcome::Hit => {}
+            CacheOutcome::ReadAheadHit => bits |= TRACE_RA_HIT,
+            CacheOutcome::Miss => bits |= TRACE_CACHE_MISS,
+        }
+        bits
+    }
+
+    /// Unpack from the raw 16-bit value. Returns `None` for the comment
+    /// sentinel or when undefined bits are set.
+    pub fn from_bits(bits: u16) -> Option<RecordType> {
+        if bits == TRACE_COMMENT {
+            return None;
+        }
+        if bits & !TRACE_RECORD_TYPE_VALID_MASK != 0 {
+            return None;
+        }
+        let cache = if bits & TRACE_CACHE_MISS != 0 {
+            CacheOutcome::Miss
+        } else if bits & TRACE_RA_HIT != 0 {
+            CacheOutcome::ReadAheadHit
+        } else {
+            CacheOutcome::Hit
+        };
+        Some(RecordType {
+            kind: DataKind::from_code(bits),
+            scope: if bits & TRACE_LOGICAL_RECORD != 0 {
+                Scope::Logical
+            } else {
+                Scope::Physical
+            },
+            dir: if bits & TRACE_WRITE != 0 {
+                Direction::Write
+            } else {
+                Direction::Read
+            },
+            sync: if bits & TRACE_ASYNC != 0 {
+                Synchrony::Async
+            } else {
+                Synchrony::Sync
+            },
+            cache,
+        })
+    }
+}
+
+/// A decoded view of the `compression` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Compression {
+    /// Offset stored in 512-byte blocks.
+    pub offset_in_blocks: bool,
+    /// Length stored in 512-byte blocks.
+    pub length_in_blocks: bool,
+    /// Length omitted (repeat this file's previous length).
+    pub no_length: bool,
+    /// Process id omitted (repeat the trace's previous record).
+    pub no_processid: bool,
+    /// Operation id omitted (repeat this file's previous record).
+    pub no_operationid: bool,
+    /// Offset omitted (sequential with this file's previous access).
+    pub no_block: bool,
+    /// File id omitted (repeat this process's previous record).
+    pub no_fileid: bool,
+}
+
+impl Compression {
+    /// Pack into the raw 16-bit `compression` value.
+    pub fn to_bits(self) -> u16 {
+        let mut bits = 0;
+        if self.offset_in_blocks {
+            bits |= TRACE_OFFSET_IN_BLOCKS;
+        }
+        if self.length_in_blocks {
+            bits |= TRACE_LENGTH_IN_BLOCKS;
+        }
+        if self.no_length {
+            bits |= TRACE_NO_LENGTH;
+        }
+        if self.no_processid {
+            bits |= TRACE_NO_PROCESSID;
+        }
+        if self.no_operationid {
+            bits |= TRACE_NO_OPERATIONID;
+        }
+        if self.no_block {
+            bits |= TRACE_NO_BLOCK;
+        }
+        if self.no_fileid {
+            bits |= TRACE_NO_FILEID;
+        }
+        bits
+    }
+
+    /// Unpack from the raw value; `None` when undefined bits are set or the
+    /// combination is self-contradictory (a scaling flag on an omitted
+    /// field — the appendix: "These flags should only be set if the
+    /// relevant information is actually in the record").
+    pub fn from_bits(bits: u16) -> Option<Compression> {
+        if bits & !TRACE_COMPRESSION_VALID_MASK != 0 {
+            return None;
+        }
+        let c = Compression {
+            offset_in_blocks: bits & TRACE_OFFSET_IN_BLOCKS != 0,
+            length_in_blocks: bits & TRACE_LENGTH_IN_BLOCKS != 0,
+            no_length: bits & TRACE_NO_LENGTH != 0,
+            no_processid: bits & TRACE_NO_PROCESSID != 0,
+            no_operationid: bits & TRACE_NO_OPERATIONID != 0,
+            no_block: bits & TRACE_NO_BLOCK != 0,
+            no_fileid: bits & TRACE_NO_FILEID != 0,
+        };
+        if (c.no_block && c.offset_in_blocks) || (c.no_length && c.length_in_blocks) {
+            return None;
+        }
+        Some(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_kind_codes_roundtrip() {
+        for kind in [
+            DataKind::FileData,
+            DataKind::MetaData,
+            DataKind::ReadAhead,
+            DataKind::VirtualMem,
+        ] {
+            assert_eq!(DataKind::from_code(kind.code()), kind);
+        }
+    }
+
+    #[test]
+    fn record_type_bits_match_appendix() {
+        let rt = RecordType {
+            kind: DataKind::FileData,
+            scope: Scope::Logical,
+            dir: Direction::Write,
+            sync: Synchrony::Async,
+            cache: CacheOutcome::Hit,
+        };
+        assert_eq!(rt.to_bits(), 0x80 | 0x40 | 0x08);
+    }
+
+    #[test]
+    fn record_type_roundtrip_all_combinations() {
+        for kind in [
+            DataKind::FileData,
+            DataKind::MetaData,
+            DataKind::ReadAhead,
+            DataKind::VirtualMem,
+        ] {
+            for scope in [Scope::Logical, Scope::Physical] {
+                for dir in [Direction::Read, Direction::Write] {
+                    for sync in [Synchrony::Sync, Synchrony::Async] {
+                        for cache in
+                            [CacheOutcome::Hit, CacheOutcome::ReadAheadHit, CacheOutcome::Miss]
+                        {
+                            let rt = RecordType { kind, scope, dir, sync, cache };
+                            assert_eq!(RecordType::from_bits(rt.to_bits()), Some(rt));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn comment_sentinel_is_not_a_record_type() {
+        assert_eq!(RecordType::from_bits(TRACE_COMMENT), None);
+    }
+
+    #[test]
+    fn invalid_record_type_bits_rejected() {
+        // 0x04 is undefined in recordType.
+        assert_eq!(RecordType::from_bits(0x04), None);
+    }
+
+    #[test]
+    fn compression_bits_match_appendix() {
+        let c = Compression {
+            offset_in_blocks: true,
+            length_in_blocks: true,
+            no_length: false,
+            no_processid: true,
+            no_operationid: true,
+            no_block: false,
+            no_fileid: true,
+        };
+        assert_eq!(c.to_bits(), 0x01 | 0x02 | 0x08 | 0x20 | 0x80);
+    }
+
+    #[test]
+    fn compression_roundtrip_all_valid_combinations() {
+        for bits in 0u16..=0xFF {
+            if let Some(c) = Compression::from_bits(bits) {
+                assert_eq!(c.to_bits(), bits);
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_an_omitted_field_is_invalid() {
+        // NO_BLOCK together with OFFSET_IN_BLOCKS.
+        assert_eq!(Compression::from_bits(0x40 | 0x01), None);
+        // NO_LENGTH together with LENGTH_IN_BLOCKS.
+        assert_eq!(Compression::from_bits(0x04 | 0x02), None);
+    }
+
+    #[test]
+    fn undefined_compression_bits_rejected() {
+        assert_eq!(Compression::from_bits(0x10), None);
+        assert_eq!(Compression::from_bits(0x100), None);
+    }
+}

@@ -1,0 +1,261 @@
+//! In-memory traces, file-level read/write helpers, and multi-trace
+//! merging.
+
+use crate::codec::{TraceDecoder, TraceEncoder};
+use crate::error::TraceError;
+use crate::record::{IoEvent, TraceItem};
+use sim_core::SimTime;
+use std::io::{BufRead, Write};
+
+/// An in-memory trace: an ordered sequence of records and comments.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    items: Vec<TraceItem>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace { items: Vec::new() }
+    }
+
+    /// Wrap an existing item sequence.
+    pub fn from_items(items: Vec<TraceItem>) -> Self {
+        Trace { items }
+    }
+
+    /// Build a trace of bare I/O events (no comments).
+    pub fn from_events(events: Vec<IoEvent>) -> Self {
+        Trace { items: events.into_iter().map(TraceItem::Io).collect() }
+    }
+
+    /// Append an I/O event.
+    pub fn push(&mut self, ev: IoEvent) {
+        self.items.push(TraceItem::Io(ev));
+    }
+
+    /// Append a comment record.
+    pub fn push_comment(&mut self, text: impl Into<String>) {
+        self.items.push(TraceItem::Comment(text.into()));
+    }
+
+    /// All items, in trace order.
+    pub fn items(&self) -> &[TraceItem] {
+        &self.items
+    }
+
+    /// Iterator over just the I/O events.
+    pub fn events(&self) -> impl Iterator<Item = &IoEvent> + '_ {
+        self.items.iter().filter_map(TraceItem::as_io)
+    }
+
+    /// Number of I/O records (comments excluded).
+    pub fn io_count(&self) -> usize {
+        self.events().count()
+    }
+
+    /// Total bytes moved by all I/O records.
+    pub fn total_bytes(&self) -> u64 {
+        self.events().map(|e| e.length).sum()
+    }
+
+    /// Start time of the first I/O record.
+    pub fn first_start(&self) -> Option<SimTime> {
+        self.events().next().map(|e| e.start)
+    }
+
+    /// Completion-inclusive end of the last I/O record.
+    pub fn last_end(&self) -> Option<SimTime> {
+        self.events().map(|e| e.start + e.completion).max()
+    }
+
+    /// True when every consecutive same-file pair of events is sorted by
+    /// start time (a format precondition for encoding).
+    pub fn is_time_ordered(&self) -> bool {
+        let mut last: Option<SimTime> = None;
+        for e in self.events() {
+            if let Some(prev) = last {
+                if e.start < prev {
+                    return false;
+                }
+            }
+            last = Some(e.start);
+        }
+        true
+    }
+}
+
+/// Serialize a whole trace to a writer as compressed ASCII, one record per
+/// line.
+pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceError> {
+    let mut enc = TraceEncoder::new();
+    for item in trace.items() {
+        let line = enc.encode(item)?;
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Parse a whole trace from a reader of compressed ASCII lines.
+pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, TraceError> {
+    let mut dec = TraceDecoder::new();
+    let mut trace = Trace::new();
+    for line in r.lines() {
+        let line = line?;
+        if let Some(item) = dec.decode(&line)? {
+            trace.items.push(item);
+        }
+    }
+    Ok(trace)
+}
+
+/// Merge several single-process traces into one multi-process trace,
+/// ordered by event start time (stable: ties keep input order). Comments
+/// are kept adjacent to the event that followed them in their source
+/// trace; trailing comments come last.
+///
+/// This is how the simulator's multiprogramming inputs are built: one
+/// calibrated application trace per process, interleaved on the wall
+/// clock.
+pub fn merge_traces(traces: &[Trace]) -> Trace {
+    // Attach each comment to the next event in its trace so ordering is by
+    // event time.
+    struct Keyed {
+        time: SimTime,
+        source: usize,
+        items: Vec<TraceItem>,
+    }
+    let mut keyed: Vec<Keyed> = Vec::new();
+    for (src, t) in traces.iter().enumerate() {
+        let mut pending: Vec<TraceItem> = Vec::new();
+        for item in t.items() {
+            match item {
+                TraceItem::Comment(_) => pending.push(item.clone()),
+                TraceItem::Io(ev) => {
+                    let mut items = std::mem::take(&mut pending);
+                    items.push(item.clone());
+                    keyed.push(Keyed { time: ev.start, source: src, items });
+                }
+            }
+        }
+        if !pending.is_empty() {
+            // Trailing comments: order after everything in this trace.
+            let time = t.last_end().unwrap_or(SimTime::ZERO);
+            keyed.push(Keyed { time, source: src, items: pending });
+        }
+    }
+    keyed.sort_by_key(|k| (k.time, k.source));
+    let mut out = Trace::new();
+    for k in keyed {
+        out.items.extend(k.items);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flags::Direction;
+    use sim_core::SimDuration;
+
+    fn ev(pid: u32, start: u64, offset: u64) -> IoEvent {
+        IoEvent::logical(
+            Direction::Read,
+            pid,
+            1,
+            offset,
+            512,
+            SimTime::from_ticks(start),
+            SimDuration::ZERO,
+        )
+    }
+
+    #[test]
+    fn trace_accessors() {
+        let mut t = Trace::new();
+        t.push_comment("hello");
+        t.push(ev(1, 10, 0));
+        t.push(ev(1, 20, 512));
+        assert_eq!(t.io_count(), 2);
+        assert_eq!(t.total_bytes(), 1024);
+        assert_eq!(t.first_start(), Some(SimTime::from_ticks(10)));
+        assert_eq!(t.last_end(), Some(SimTime::from_ticks(20)));
+        assert!(t.is_time_ordered());
+        assert_eq!(t.items().len(), 3);
+    }
+
+    #[test]
+    fn time_order_detection() {
+        let t = Trace::from_events(vec![ev(1, 20, 0), ev(1, 10, 512)]);
+        assert!(!t.is_time_ordered());
+        assert!(Trace::new().is_time_ordered());
+    }
+
+    #[test]
+    fn write_read_roundtrip_through_bytes() {
+        let mut t = Trace::new();
+        t.push_comment("trace of unit test");
+        for i in 0..50 {
+            t.push(ev(1, i * 100, i * 512));
+        }
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let back = read_trace(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn merge_orders_by_start_time() {
+        let a = Trace::from_events(vec![ev(1, 10, 0), ev(1, 30, 512)]);
+        let b = Trace::from_events(vec![ev(2, 20, 0), ev(2, 40, 512)]);
+        let m = merge_traces(&[a, b]);
+        let starts: Vec<u64> = m.events().map(|e| e.start.ticks()).collect();
+        assert_eq!(starts, vec![10, 20, 30, 40]);
+        let pids: Vec<u32> = m.events().map(|e| e.process_id).collect();
+        assert_eq!(pids, vec![1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn merge_tie_break_is_stable_by_source() {
+        let a = Trace::from_events(vec![ev(1, 10, 0)]);
+        let b = Trace::from_events(vec![ev(2, 10, 0)]);
+        let m = merge_traces(&[a, b]);
+        let pids: Vec<u32> = m.events().map(|e| e.process_id).collect();
+        assert_eq!(pids, vec![1, 2]);
+    }
+
+    #[test]
+    fn merge_keeps_comments_with_following_event() {
+        let mut a = Trace::new();
+        a.push_comment("before first");
+        a.push(ev(1, 50, 0));
+        let b = Trace::from_events(vec![ev(2, 10, 0)]);
+        let m = merge_traces(&[a, b]);
+        match &m.items()[0] {
+            TraceItem::Io(e) => assert_eq!(e.process_id, 2),
+            other => panic!("expected b's event first, got {other:?}"),
+        }
+        assert!(matches!(&m.items()[1], TraceItem::Comment(c) if c == "before first"));
+    }
+
+    #[test]
+    fn merged_trace_roundtrips_through_codec() {
+        let a = Trace::from_events((0..20).map(|i| ev(1, i * 100, i * 512)).collect());
+        let b = Trace::from_events((0..20).map(|i| ev(2, i * 130 + 7, i * 512)).collect());
+        let m = merge_traces(&[a, b]);
+        assert!(m.is_time_ordered());
+        let mut buf = Vec::new();
+        write_trace(&m, &mut buf).unwrap();
+        let back = read_trace(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = Trace::new();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        assert!(buf.is_empty());
+        assert_eq!(read_trace(std::io::Cursor::new(buf)).unwrap(), t);
+    }
+}

@@ -1,0 +1,182 @@
+//! Property tests: the compressed ASCII codec is lossless for every
+//! conforming record sequence, and compression flags never change decoded
+//! semantics.
+
+use iotrace::{
+    read_trace, write_trace, DataKind, Direction, IoEvent, Scope, Synchrony, Trace, TraceDecoder,
+    TraceEncoder, TraceItem,
+};
+use proptest::prelude::*;
+use sim_core::{SimDuration, SimTime};
+
+fn arb_direction() -> impl Strategy<Value = Direction> {
+    prop_oneof![Just(Direction::Read), Just(Direction::Write)]
+}
+
+fn arb_sync() -> impl Strategy<Value = Synchrony> {
+    prop_oneof![Just(Synchrony::Sync), Just(Synchrony::Async)]
+}
+
+fn arb_kind() -> impl Strategy<Value = DataKind> {
+    prop_oneof![
+        Just(DataKind::FileData),
+        Just(DataKind::MetaData),
+        Just(DataKind::ReadAhead),
+        Just(DataKind::VirtualMem),
+    ]
+}
+
+/// A raw event shape before times are made monotonic.
+#[derive(Debug, Clone)]
+struct RawEvent {
+    dir: Direction,
+    sync: Synchrony,
+    kind: DataKind,
+    physical: bool,
+    pid: u32,
+    fid: u32,
+    offset: u64,
+    length: u64,
+    start_gap: u64,
+    completion: u64,
+    ptime: u64,
+    op_id: u32,
+}
+
+fn arb_raw_event() -> impl Strategy<Value = RawEvent> {
+    (
+        arb_direction(),
+        arb_sync(),
+        arb_kind(),
+        any::<bool>(),
+        1u32..5,
+        1u32..8,
+        0u64..10_000_000,
+        0u64..5_000_000,
+        0u64..200_000,
+        0u64..50_000,
+        0u64..100_000,
+        0u32..4,
+    )
+        .prop_map(
+            |(dir, sync, kind, physical, pid, fid, offset, length, start_gap, completion, ptime, op_id)| {
+                RawEvent {
+                    dir,
+                    sync,
+                    kind,
+                    physical,
+                    pid,
+                    fid,
+                    offset,
+                    length,
+                    start_gap,
+                    completion,
+                    ptime,
+                    op_id,
+                }
+            },
+        )
+}
+
+fn build_trace(raw: Vec<RawEvent>) -> Trace {
+    let mut t = Trace::new();
+    let mut clock = 0u64;
+    for r in raw {
+        clock += r.start_gap;
+        let (scope, offset, length) = if r.physical {
+            // Physical records must be block aligned.
+            (Scope::Physical, (r.offset / 512) * 512, (r.length / 512) * 512)
+        } else {
+            (Scope::Logical, r.offset, r.length)
+        };
+        t.push(IoEvent {
+            kind: r.kind,
+            scope,
+            dir: r.dir,
+            sync: r.sync,
+            cache: iotrace::CacheOutcome::Hit,
+            offset,
+            length,
+            start: SimTime::from_ticks(clock),
+            completion: SimDuration::from_ticks(r.completion),
+            op_id: r.op_id,
+            file_id: r.fid,
+            process_id: r.pid,
+            process_time: SimDuration::from_ticks(r.ptime),
+        });
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn codec_roundtrip_is_lossless(raw in proptest::collection::vec(arb_raw_event(), 0..200)) {
+        let trace = build_trace(raw);
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let back = read_trace(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn line_by_line_matches_batch(raw in proptest::collection::vec(arb_raw_event(), 1..100)) {
+        let trace = build_trace(raw);
+        let mut enc = TraceEncoder::new();
+        let mut dec = TraceDecoder::new();
+        for item in trace.items() {
+            let line = enc.encode(item).unwrap();
+            let got = dec.decode(&line).unwrap().unwrap();
+            prop_assert_eq!(&got, item);
+        }
+    }
+
+    #[test]
+    fn comments_never_corrupt_state(
+        raw in proptest::collection::vec(arb_raw_event(), 1..60),
+        comment_at in 0usize..60,
+        text in "[ -~]{0,40}",
+    ) {
+        let plain = build_trace(raw.clone());
+        // Same events with a comment spliced in.
+        let mut with_comment = Trace::new();
+        for (i, item) in plain.items().iter().enumerate() {
+            if i == comment_at.min(plain.items().len() - 1) {
+                with_comment.push_comment(text.trim().to_string());
+            }
+            match item {
+                TraceItem::Io(e) => with_comment.push(*e),
+                TraceItem::Comment(c) => with_comment.push_comment(c.clone()),
+            }
+        }
+        let mut buf = Vec::new();
+        write_trace(&with_comment, &mut buf).unwrap();
+        let back = read_trace(std::io::Cursor::new(buf)).unwrap();
+        let events_back: Vec<_> = back.events().cloned().collect();
+        let events_orig: Vec<_> = plain.events().cloned().collect();
+        prop_assert_eq!(events_back, events_orig);
+    }
+
+    #[test]
+    fn sequential_runs_compress_to_minimal_lines(
+        n in 2usize..50,
+        size in prop::sample::select(vec![512u64, 4096, 32768, 524288]),
+    ) {
+        // A perfectly sequential same-size run: every record after the first
+        // must encode to exactly 5 fields.
+        let mut t = Trace::new();
+        for i in 0..n as u64 {
+            t.push(IoEvent::logical(
+                Direction::Read, 1, 1, i * size, size,
+                SimTime::from_ticks(i * 1000), SimDuration::from_ticks(100),
+            ));
+        }
+        let mut enc = TraceEncoder::new();
+        let lines: Vec<String> =
+            t.items().iter().map(|it| enc.encode(it).unwrap()).collect();
+        for l in &lines[1..] {
+            prop_assert_eq!(l.split_ascii_whitespace().count(), 5);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Pipeline accounting: amortization, buffering, and the <20 % overhead
+//! bound.
+
+use sim_core::SimDuration;
+
+/// Summary of one collection run.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineReport {
+    /// Packets written to the trace log.
+    pub packets: u64,
+    /// Records carried.
+    pub records: u64,
+    /// Mean records per packet — the header-amortization factor (§4.3:
+    /// "one header served for hundreds of I/O calls").
+    pub records_per_packet: f64,
+    /// Peak records the reconstruction had to buffer between flushes.
+    pub peak_buffered_records: u64,
+    /// Total tracing CPU overhead charged by the shim.
+    pub tracing_overhead: SimDuration,
+    /// Total time the traced application spent in I/O system calls
+    /// (for the overhead-fraction bound).
+    pub io_syscall_time: SimDuration,
+}
+
+impl PipelineReport {
+    /// Tracing overhead as a fraction of I/O system-call time. The paper:
+    /// "Overheads were less than 20% of I/O system call time."
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.io_syscall_time.is_zero() {
+            0.0
+        } else {
+            self.tracing_overhead.as_secs_f64() / self.io_syscall_time.as_secs_f64()
+        }
+    }
+
+    /// True when the run satisfies the paper's overhead bound.
+    pub fn within_paper_overhead_bound(&self) -> bool {
+        self.overhead_fraction() < 0.20
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_fraction_basics() {
+        let r = PipelineReport {
+            tracing_overhead: SimDuration::from_millis(10),
+            io_syscall_time: SimDuration::from_millis(100),
+            ..Default::default()
+        };
+        assert!((r.overhead_fraction() - 0.1).abs() < 1e-12);
+        assert!(r.within_paper_overhead_bound());
+    }
+
+    #[test]
+    fn zero_io_time_is_benign() {
+        let r = PipelineReport::default();
+        assert_eq!(r.overhead_fraction(), 0.0);
+        assert!(r.within_paper_overhead_bound());
+    }
+
+    #[test]
+    fn excessive_overhead_flagged() {
+        let r = PipelineReport {
+            tracing_overhead: SimDuration::from_millis(30),
+            io_syscall_time: SimDuration::from_millis(100),
+            ..Default::default()
+        };
+        assert!(!r.within_paper_overhead_bound());
+    }
+}

@@ -1,0 +1,482 @@
+//! Statistics utilities shared by trace analysis, the simulator, and the
+//! experiment harness.
+//!
+//! * [`StreamingStats`] — Welford single-pass mean/variance/min/max.
+//! * [`Histogram`] — fixed-edge histogram with percentile queries, used for
+//!   access-size distributions.
+//! * [`RateSeries`] — the 1-second (configurable) binning that produces the
+//!   "MB per CPU second" series of Figures 3, 4, 6 and 7.
+//! * [`Autocorrelation`] — lag scan over a binned series, used to detect the
+//!   evenly-spaced request-rate cycles of §5.3.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Single-pass summary statistics (Welford's algorithm).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StreamingStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl StreamingStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        StreamingStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Fold one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Coefficient of variation (stddev / mean); 0 when the mean is 0.
+    /// The paper's burstiness discussion is essentially about this being
+    /// large for supercomputer I/O.
+    pub fn cv(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.stddev() / m
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel sweeps).
+    pub fn merge(&mut self, other: &StreamingStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A histogram over explicit bucket edges. Values below the first edge go
+/// to bucket 0; values at or above the last edge go to the final overflow
+/// bucket.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Build from strictly increasing edges (at least one).
+    pub fn new(edges: Vec<f64>) -> Self {
+        assert!(!edges.is_empty(), "histogram needs at least one edge");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "histogram edges must be strictly increasing"
+        );
+        let n = edges.len();
+        Histogram {
+            edges,
+            counts: vec![0; n + 1],
+            total: 0,
+        }
+    }
+
+    /// A power-of-two size histogram from `lo` bytes to `hi` bytes, the
+    /// natural shape for I/O request sizes.
+    pub fn pow2(lo: u64, hi: u64) -> Self {
+        assert!(lo > 0 && lo < hi, "pow2 histogram needs 0 < lo < hi");
+        let mut edges = Vec::new();
+        let mut e = lo;
+        while e <= hi {
+            edges.push(e as f64);
+            e *= 2;
+        }
+        Histogram::new(edges)
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: f64) {
+        let idx = self.edges.partition_point(|&e| e <= value);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Bucket counts; `counts()[i]` counts values in `[edges[i-1], edges[i])`
+    /// with underflow at index 0 and overflow at the end.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Bucket edges.
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// Approximate quantile (`q` in `[0,1]`) by bucket upper edge;
+    /// `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut acc = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                // Upper edge of this bucket (or last edge for the overflow
+                // bucket).
+                return Some(self.edges[i.min(self.edges.len() - 1)]);
+            }
+        }
+        Some(*self.edges.last().unwrap())
+    }
+}
+
+/// Accumulates (time, bytes) events into fixed-width bins and yields a rate
+/// series — the paper's "MB per CPU second" plots at 1-second resolution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RateSeries {
+    bin: SimDuration,
+    bins: Vec<f64>,
+}
+
+impl RateSeries {
+    /// A series with the given bin width (must be nonzero).
+    pub fn new(bin: SimDuration) -> Self {
+        assert!(!bin.is_zero(), "bin width must be nonzero");
+        RateSeries { bin, bins: Vec::new() }
+    }
+
+    /// The conventional 1-second bins used by the paper's figures.
+    pub fn per_second() -> Self {
+        RateSeries::new(SimDuration::from_secs(1))
+    }
+
+    /// Add `amount` (e.g. bytes) at instant `at`.
+    pub fn add(&mut self, at: SimTime, amount: f64) {
+        let idx = (at.ticks() / self.bin.ticks()) as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, 0.0);
+        }
+        self.bins[idx] += amount;
+    }
+
+    /// Bin width.
+    pub fn bin_width(&self) -> SimDuration {
+        self.bin
+    }
+
+    /// Raw per-bin totals (amount per bin, not per second).
+    pub fn bins(&self) -> &[f64] {
+        &self.bins
+    }
+
+    /// Per-bin totals normalized to a per-second rate.
+    pub fn rates_per_second(&self) -> Vec<f64> {
+        let scale = 1.0 / self.bin.as_secs_f64();
+        self.bins.iter().map(|&b| b * scale).collect()
+    }
+
+    /// Number of bins (i.e. series length).
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// True when nothing has been added.
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// Truncate the series to the first `n` bins (Figures 6–7 plot only the
+    /// first 200 seconds of wall time).
+    pub fn truncated(&self, n: usize) -> RateSeries {
+        RateSeries {
+            bin: self.bin,
+            bins: self.bins.iter().copied().take(n).collect(),
+        }
+    }
+
+    /// Summary statistics over the per-second rates.
+    pub fn stats(&self) -> StreamingStats {
+        let mut s = StreamingStats::new();
+        for r in self.rates_per_second() {
+            s.push(r);
+        }
+        s
+    }
+}
+
+/// Lag-scan autocorrelation over a (mean-removed) series; used to find the
+/// dominant cycle period of an application's I/O demand (§5.3: "request
+/// rate peaks were generally evenly spaced").
+#[derive(Debug, Clone)]
+pub struct Autocorrelation {
+    values: Vec<f64>,
+}
+
+impl Autocorrelation {
+    /// Wrap a series of per-bin values.
+    pub fn new(values: Vec<f64>) -> Self {
+        Autocorrelation { values }
+    }
+
+    /// Normalized autocorrelation at `lag` (1.0 at lag 0; `None` when the
+    /// series is shorter than `lag + 2` or has zero variance).
+    pub fn at(&self, lag: usize) -> Option<f64> {
+        let n = self.values.len();
+        if n < lag + 2 {
+            return None;
+        }
+        let mean = self.values.iter().sum::<f64>() / n as f64;
+        let var: f64 = self.values.iter().map(|v| (v - mean).powi(2)).sum();
+        if var == 0.0 {
+            return None;
+        }
+        let cov: f64 = (0..n - lag)
+            .map(|i| (self.values[i] - mean) * (self.values[i + lag] - mean))
+            .sum();
+        Some(cov / var)
+    }
+
+    /// The lag in `[min_lag, max_lag]` with the highest autocorrelation,
+    /// together with that correlation; `None` when no lag is evaluable.
+    pub fn dominant_period(&self, min_lag: usize, max_lag: usize) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for lag in min_lag..=max_lag {
+            if let Some(r) = self.at(lag) {
+                if best.is_none_or(|(_, br)| r > br) {
+                    best = Some((lag, r));
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_stats_basics() {
+        let mut s = StreamingStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert!((s.sum() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_benign() {
+        let s = StreamingStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 3.0).collect();
+        let mut whole = StreamingStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = StreamingStats::new();
+        let mut b = StreamingStats::new();
+        for &x in &data[..37] {
+            a.push(x);
+        }
+        for &x in &data[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = StreamingStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = (a.count(), a.mean(), a.variance());
+        a.merge(&StreamingStats::new());
+        assert_eq!((a.count(), a.mean(), a.variance()), before);
+
+        let mut e = StreamingStats::new();
+        e.merge(&a);
+        assert_eq!(e.count(), 2);
+        assert!((e.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(vec![10.0, 20.0, 40.0]);
+        for v in [5.0, 10.0, 15.0, 25.0, 100.0] {
+            h.record(v);
+        }
+        // under-10 | [10,20) | [20,40) | >=40
+        assert_eq!(h.counts(), &[1, 2, 1, 1]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn pow2_histogram_shape() {
+        let h = Histogram::pow2(1024, 8192);
+        assert_eq!(h.edges(), &[1024.0, 2048.0, 4096.0, 8192.0]);
+        assert_eq!(h.counts().len(), 5);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::pow2(1, 1 << 10);
+        for _ in 0..90 {
+            h.record(3.0); // falls in [2,4) bucket, upper edge 4
+        }
+        for _ in 0..10 {
+            h.record(600.0); // [512,1024) bucket, upper edge 1024
+        }
+        assert_eq!(h.quantile(0.5), Some(4.0));
+        assert_eq!(h.quantile(0.99), Some(1024.0));
+        assert_eq!(Histogram::pow2(1, 2).quantile(0.5), None);
+    }
+
+    #[test]
+    fn rate_series_binning() {
+        let mut rs = RateSeries::per_second();
+        rs.add(SimTime::from_secs(0), 100.0);
+        rs.add(SimTime::from_ticks(50_000), 50.0); // 0.5 s -> bin 0
+        rs.add(SimTime::from_secs(2), 10.0);
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs.bins(), &[150.0, 0.0, 10.0]);
+        assert_eq!(rs.rates_per_second(), vec![150.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn rate_series_subsecond_bins_scale() {
+        let mut rs = RateSeries::new(SimDuration::from_millis(100));
+        rs.add(SimTime::ZERO, 5.0);
+        assert_eq!(rs.rates_per_second()[0], 50.0);
+    }
+
+    #[test]
+    fn rate_series_truncate() {
+        let mut rs = RateSeries::per_second();
+        for s in 0..10 {
+            rs.add(SimTime::from_secs(s), 1.0);
+        }
+        let t = rs.truncated(4);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.bins(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn autocorrelation_detects_period() {
+        // Period-8 sawtooth over 160 bins.
+        let vals: Vec<f64> = (0..160).map(|i| (i % 8) as f64).collect();
+        let ac = Autocorrelation::new(vals);
+        let (lag, r) = ac.dominant_period(2, 20).unwrap();
+        assert_eq!(lag, 8);
+        assert!(r > 0.9, "period correlation too weak: {r}");
+    }
+
+    #[test]
+    fn autocorrelation_flat_series_is_none() {
+        let ac = Autocorrelation::new(vec![5.0; 50]);
+        assert_eq!(ac.at(3), None);
+        let short = Autocorrelation::new(vec![1.0, 2.0]);
+        assert_eq!(short.at(5), None);
+    }
+
+    #[test]
+    fn autocorrelation_lag_zero_is_one() {
+        let ac = Autocorrelation::new(vec![1.0, 5.0, 2.0, 8.0, 3.0]);
+        assert!((ac.at(0).unwrap() - 1.0).abs() < 1e-12);
+    }
+}

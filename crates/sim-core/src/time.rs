@@ -1,0 +1,325 @@
+//! Simulation time in the paper's native unit: 10 µs ticks.
+//!
+//! §4.1: "For traces in our standard format, this value was converted to
+//! 10 µs units, as we believed this was sufficient time resolution for I/O
+//! traces." All timestamps in the trace format are differences in this
+//! unit, and the simulator clock advances in it too.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Number of microseconds represented by one tick.
+pub const TICK_MICROS: u64 = 10;
+
+/// Number of ticks in one second (100 000).
+pub const TICKS_PER_SECOND: u64 = 1_000_000 / TICK_MICROS;
+
+/// An absolute instant on the simulation clock, counted in 10 µs ticks
+/// since the start of the simulation (or of the trace).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+/// A span of simulation time, counted in 10 µs ticks.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The origin of the simulation clock.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from raw 10 µs ticks.
+    #[inline]
+    pub const fn from_ticks(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * TICKS_PER_SECOND)
+    }
+
+    /// Construct from microseconds, rounding down to tick resolution.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us / TICK_MICROS)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000 / TICK_MICROS)
+    }
+
+    /// Raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Time as (possibly fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / TICKS_PER_SECOND as f64
+    }
+
+    /// Duration elapsed since `earlier`, saturating at zero if `earlier`
+    /// is actually later (clock skew never occurs in the simulator, but
+    /// decoded traces may be adversarial).
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked difference; `None` when `earlier > self`.
+    #[inline]
+    pub fn checked_since(self, earlier: SimTime) -> Option<SimDuration> {
+        self.0.checked_sub(earlier.0).map(SimDuration)
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from raw 10 µs ticks.
+    #[inline]
+    pub const fn from_ticks(ticks: u64) -> Self {
+        SimDuration(ticks)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * TICKS_PER_SECOND)
+    }
+
+    /// Construct from microseconds, rounding down.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us / TICK_MICROS)
+    }
+
+    /// Construct from microseconds, rounding *up* so that nonzero physical
+    /// latencies never collapse to a free (zero-tick) operation.
+    #[inline]
+    pub const fn from_micros_ceil(us: u64) -> Self {
+        SimDuration(us.div_ceil(TICK_MICROS))
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000 / TICK_MICROS)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest tick.
+    #[inline]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        debug_assert!(secs >= 0.0, "negative duration");
+        SimDuration((secs * TICKS_PER_SECOND as f64).round() as u64)
+    }
+
+    /// Raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Span as fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / TICKS_PER_SECOND as f64
+    }
+
+    /// Span as fractional milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 * TICK_MICROS as f64 / 1_000.0
+    }
+
+    /// True when the span is zero ticks.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The larger of two spans.
+    #[inline]
+    pub fn max(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(rhs.0))
+    }
+
+    /// The smaller of two spans.
+    #[inline]
+    pub fn min(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(rhs.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_is_hundred_thousand_ticks() {
+        assert_eq!(SimTime::from_secs(1).ticks(), 100_000);
+        assert_eq!(SimDuration::from_secs(1).ticks(), 100_000);
+    }
+
+    #[test]
+    fn micros_round_down_but_ceil_rounds_up() {
+        assert_eq!(SimDuration::from_micros(19).ticks(), 1);
+        assert_eq!(SimDuration::from_micros(9).ticks(), 0);
+        assert_eq!(SimDuration::from_micros_ceil(9).ticks(), 1);
+        assert_eq!(SimDuration::from_micros_ceil(10).ticks(), 1);
+        assert_eq!(SimDuration::from_micros_ceil(11).ticks(), 2);
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::from_secs(3);
+        let d = SimDuration::from_millis(250);
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d) - d, t);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let a = SimTime::from_ticks(5);
+        let b = SimTime::from_ticks(9);
+        assert_eq!(b.saturating_since(a).ticks(), 4);
+        assert_eq!(a.saturating_since(b).ticks(), 0);
+        assert_eq!(a.checked_since(b), None);
+    }
+
+    #[test]
+    fn seconds_conversion_is_exactly_invertible_for_whole_seconds() {
+        for s in [0u64, 1, 17, 1897] {
+            assert_eq!(SimTime::from_secs(s).as_secs_f64(), s as f64);
+        }
+    }
+
+    #[test]
+    fn from_secs_f64_rounds_to_nearest_tick() {
+        // 0.000014 s = 1.4 ticks -> 1 tick; 0.000016 s = 1.6 ticks -> 2.
+        assert_eq!(SimDuration::from_secs_f64(0.000_014).ticks(), 1);
+        assert_eq!(SimDuration::from_secs_f64(0.000_016).ticks(), 2);
+    }
+
+    #[test]
+    fn display_formats_as_seconds() {
+        assert_eq!(format!("{}", SimTime::from_secs(2)), "2.0000s");
+        assert_eq!(format!("{}", SimDuration::from_millis(1500)), "1.5000s");
+    }
+
+    #[test]
+    fn min_max_behave() {
+        let a = SimDuration::from_ticks(3);
+        let b = SimDuration::from_ticks(7);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(b.saturating_sub(a).ticks(), 4);
+        assert_eq!(a.saturating_sub(b).ticks(), 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Cray Y-MP era unit constants used throughout the paper.
+//!
+//! The paper measures memory in **megawords** (MW) with 8-byte words
+//! (§2.2: "128 MW (each word is eight bytes long)"), trace offsets in
+//! **512-byte blocks** (appendix: `TRACE_BLOCK_SIZE 512`), and device
+//! bandwidths in MB/s.
+
+/// Bytes per Cray word.
+pub const WORD_BYTES: u64 = 8;
+
+/// Bytes per kilobyte (binary, as the era used).
+pub const KB: u64 = 1024;
+
+/// Bytes per megabyte.
+pub const MB: u64 = 1024 * 1024;
+
+/// Bytes per gigabyte.
+pub const GB: u64 = 1024 * 1024 * 1024;
+
+/// Bytes per megaword (8 MB).
+pub const MEGAWORD_BYTES: u64 = WORD_BYTES * 1024 * 1024;
+
+/// The trace format's block unit (appendix `TRACE_BLOCK_SIZE`).
+pub const TRACE_BLOCK_SIZE: u64 = 512;
+
+/// Total main memory of the NASA Ames Cray Y-MP 8/832 (128 MW).
+pub const YMP_MAIN_MEMORY_BYTES: u64 = 128 * MEGAWORD_BYTES;
+
+/// Total SSD size at NASA Ames (256 MW).
+pub const YMP_SSD_BYTES: u64 = 256 * MEGAWORD_BYTES;
+
+/// Per-processor share of the SSD on the 8-CPU machine (32 MW = 256 MB).
+pub const YMP_SSD_PER_CPU_BYTES: u64 = YMP_SSD_BYTES / 8;
+
+/// Sustained transfer rate of one Y-MP disk (§2.2: 9.6 MB/sec).
+pub const YMP_DISK_MB_PER_SEC: f64 = 9.6;
+
+/// Aggregate disk capacity at NASA Ames (§2.2: 35.2 GB).
+pub const YMP_DISK_FARM_BYTES: u64 = (35.2 * GB as f64) as u64;
+
+/// SSD transfer rate used by the paper's simulations
+/// (§6.3: "approximately 1 µs per kilobyte transferred (at 1 GB/sec)").
+pub const SSD_GB_PER_SEC: f64 = 1.0;
+
+/// Cray Y-MP CPU cycle time (§2.2: 6 ns).
+pub const YMP_CYCLE_NS: f64 = 6.0;
+
+/// Convert megawords to bytes.
+#[inline]
+pub const fn megawords(mw: u64) -> u64 {
+    mw * MEGAWORD_BYTES
+}
+
+/// Convert a byte count to (possibly fractional) megabytes.
+#[inline]
+pub fn bytes_to_mb(bytes: u64) -> f64 {
+    bytes as f64 / MB as f64
+}
+
+/// Convert a byte count to (possibly fractional) kilobytes.
+#[inline]
+pub fn bytes_to_kb(bytes: u64) -> f64 {
+    bytes as f64 / KB as f64
+}
+
+/// Convert megabytes (fractional) to bytes, rounding to the nearest byte.
+#[inline]
+pub fn mb_to_bytes(mb: f64) -> u64 {
+    (mb * MB as f64).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn megaword_is_eight_megabytes() {
+        assert_eq!(MEGAWORD_BYTES, 8 * MB);
+        assert_eq!(megawords(4), 32 * MB);
+    }
+
+    #[test]
+    fn ymp_configuration_matches_paper() {
+        // 128 MW main memory = 1 GB; 256 MW SSD = 2 GB; 32 MW/CPU = 256 MB.
+        assert_eq!(YMP_MAIN_MEMORY_BYTES, 1024 * MB);
+        assert_eq!(YMP_SSD_BYTES, 2048 * MB);
+        assert_eq!(YMP_SSD_PER_CPU_BYTES, 256 * MB);
+    }
+
+    #[test]
+    fn byte_conversions_invert() {
+        assert_eq!(mb_to_bytes(bytes_to_mb(123_456_789)), 123_456_789);
+        assert_eq!(bytes_to_kb(2048), 2.0);
+    }
+
+    #[test]
+    fn trace_block_matches_appendix() {
+        assert_eq!(TRACE_BLOCK_SIZE, 512);
+    }
+}

@@ -1,0 +1,860 @@
+//! The discrete-event engine tying scheduler, cache, and disks together.
+//!
+//! Timing semantics, matching §6.1's description of the original:
+//!
+//! * One CPU. A dispatched process runs for `min(quantum, remaining
+//!   compute)`; a context switch is charged per dispatch. When its
+//!   compute gap drains, the process issues its next traced request,
+//!   paying the file-system-code and interrupt-service CPU overheads.
+//! * A **synchronous** request blocks the process until every implied
+//!   demand device operation completes (misses, dirty-eviction
+//!   writebacks, write-throughs, plus waits for still-in-flight
+//!   read-ahead covering the requested blocks). **Asynchronous** requests
+//!   (les) never block; their device work proceeds in the background.
+//! * Read-ahead fetches and write-behind flushes run in the background.
+//!   Flushing is serialized per disk — one flusher stream per spindle —
+//!   which is what makes an undersized cache fill with dirty blocks and
+//!   stall its writers (§6.2).
+//! * Disks default to the paper's no-queueing model; per-disk FIFO
+//!   queueing is available as an ablation.
+//!
+//! File ids are namespaced per process (`pid << 16 | file`), so two
+//! copies of venus never share cached data — the paper's Figure 6–8 runs
+//! use "two identical venus programs … not sharing data sets" (§6.3).
+
+use crate::config::SimConfig;
+use crate::metrics::{ProcessMetrics, SimReport};
+use crate::process::{ProcState, ProcessState};
+use buffer_cache::{BlockCache, ByteRange};
+use iotrace::{Direction, IoEvent, Synchrony, Trace, TraceItem};
+use sim_core::{EventQueue, RateSeries, SimDuration, SimTime};
+use storage_model::{AccessKind, BlockDevice, DiskModel};
+use std::collections::{HashMap, VecDeque};
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// The running process's CPU slice ends.
+    SliceDone { slot: usize },
+    /// A blocked process's I/O completes.
+    IoDone { slot: usize },
+    /// A flusher stream finishes its current device write.
+    FlushDone { disk: usize },
+    /// Delayed-write aging timer.
+    FlushTimer,
+}
+
+/// Per-file placement on the disk farm.
+#[derive(Debug, Clone, Copy)]
+struct Placement {
+    disk: usize,
+    base: u64,
+}
+
+/// The simulator. Construct, [`Simulation::add_process`], then
+/// [`Simulation::run`].
+pub struct Simulation {
+    config: SimConfig,
+    procs: Vec<ProcessState>,
+    ready: VecDeque<usize>,
+    /// CPUs currently free (the paper models 1; §2.2's n+1 experiments
+    /// use more).
+    free_cpus: usize,
+    /// Per running process: compute consumed by its pending SliceDone,
+    /// plus whether the slice ends in an I/O issue.
+    slice_info: HashMap<usize, (SimDuration, bool)>,
+    queue: EventQueue<Ev>,
+    cache: Option<BlockCache>,
+    disks: Vec<DiskModel>,
+    placements: HashMap<u32, Placement>,
+    next_file_slot: Vec<u64>,
+    /// Blocks fetched by read-ahead or async demand whose data is still
+    /// in flight: block → ready time.
+    pending_blocks: HashMap<(u32, u64), SimTime>,
+    flush_busy: Vec<bool>,
+    flush_queues: Vec<VecDeque<ByteRange>>,
+    flush_timer_armed: bool,
+    // metrics
+    busy: SimDuration,
+    overhead: SimDuration,
+    logical_series: RateSeries,
+    disk_read_series: RateSeries,
+    disk_write_series: RateSeries,
+    wall_end: SimTime,
+}
+
+impl Simulation {
+    /// Build an empty simulation for `config`.
+    pub fn new(config: SimConfig) -> Simulation {
+        config.validate();
+        let cache = config.cache.clone().map(BlockCache::new);
+        let disks = (0..config.n_disks)
+            .map(|i| DiskModel::new(format!("disk{i}"), config.disk.clone()))
+            .collect();
+        Simulation {
+            cache,
+            disks,
+            procs: Vec::new(),
+            ready: VecDeque::new(),
+            free_cpus: config.n_cpus,
+            slice_info: HashMap::new(),
+            queue: EventQueue::new(),
+            placements: HashMap::new(),
+            next_file_slot: vec![0; config.n_disks],
+            pending_blocks: HashMap::new(),
+            flush_busy: vec![false; config.n_disks],
+            flush_queues: (0..config.n_disks).map(|_| VecDeque::new()).collect(),
+            flush_timer_armed: false,
+            busy: SimDuration::ZERO,
+            overhead: SimDuration::ZERO,
+            logical_series: RateSeries::new(config.series_bin),
+            disk_read_series: RateSeries::new(config.series_bin),
+            disk_write_series: RateSeries::new(config.series_bin),
+            wall_end: SimTime::ZERO,
+            config,
+        }
+    }
+
+    /// Add a process replaying `trace`. File ids are namespaced by the
+    /// given `pid`, which must be unique and < 65536 (as must the trace's
+    /// file ids).
+    pub fn add_process(&mut self, pid: u32, name: impl Into<String>, trace: &Trace) {
+        assert!(pid < 1 << 16, "pid {pid} exceeds the namespacing width");
+        assert!(
+            self.procs.iter().all(|p| p.pid != pid),
+            "duplicate pid {pid}"
+        );
+        let remapped = Trace::from_items(
+            trace
+                .items()
+                .iter()
+                .map(|item| match item {
+                    TraceItem::Io(e) => {
+                        assert!(e.file_id < 1 << 16, "file id {} too wide", e.file_id);
+                        let mut e = *e;
+                        e.file_id |= pid << 16;
+                        e.process_id = pid;
+                        TraceItem::Io(e)
+                    }
+                    c => c.clone(),
+                })
+                .collect(),
+        );
+        self.procs.push(ProcessState::new(pid, name, &remapped));
+    }
+
+    fn placement(&mut self, file: u32) -> Placement {
+        if let Some(p) = self.placements.get(&file) {
+            return *p;
+        }
+        let disk = (file as usize) % self.config.n_disks;
+        // 256 MB slots: generous for every traced file; seek distances
+        // between files on a shared disk stay meaningful.
+        let base = self.next_file_slot[disk] * 256 * sim_core::units::MB;
+        self.next_file_slot[disk] += 1;
+        let p = Placement { disk, base };
+        self.placements.insert(file, p);
+        p
+    }
+
+    fn device_op(
+        &mut self,
+        now: SimTime,
+        kind: AccessKind,
+        file: u32,
+        offset: u64,
+        length: u64,
+    ) -> SimDuration {
+        let p = self.placement(file);
+        let d = self.disks[p.disk].access(now, kind, p.base + offset, length);
+        match kind {
+            AccessKind::Read => self.disk_read_series.add(now, length as f64),
+            AccessKind::Write => self.disk_write_series.add(now, length as f64),
+        }
+        d
+    }
+
+    fn block_span(&self, offset: u64, length: u64) -> (u64, u64) {
+        let bs = self.cache.as_ref().map(|c| c.config().block_size).unwrap_or(4096);
+        if length == 0 {
+            return (offset / bs, offset / bs);
+        }
+        (offset / bs, (offset + length - 1) / bs)
+    }
+
+    /// Wait required for still-in-flight read-ahead data covering the
+    /// range.
+    fn pending_wait(&mut self, now: SimTime, file: u32, offset: u64, length: u64) -> SimDuration {
+        let (first, last) = self.block_span(offset, length);
+        let mut wait = SimDuration::ZERO;
+        for b in first..=last {
+            if let Some(&ready) = self.pending_blocks.get(&(file, b)) {
+                if ready > now {
+                    wait = wait.max(ready.saturating_since(now));
+                } else {
+                    self.pending_blocks.remove(&(file, b));
+                }
+            }
+        }
+        wait
+    }
+
+    fn mark_pending(&mut self, file: u32, offset: u64, length: u64, ready: SimTime) {
+        let (first, last) = self.block_span(offset, length);
+        for b in first..=last {
+            self.pending_blocks.insert((file, b), ready);
+        }
+    }
+
+    /// Dispatch ready processes onto free CPUs.
+    fn dispatch(&mut self, now: SimTime) {
+        while self.free_cpus > 0 {
+            if !self.dispatch_one(now) {
+                break;
+            }
+        }
+    }
+
+    /// Start one ready process; false when the ready queue is empty.
+    fn dispatch_one(&mut self, now: SimTime) -> bool {
+        let Some(slot) = self.ready.pop_front() else { return false };
+        let quantum = self.config.sched.quantum;
+        let (compute, completing) = {
+            let p = &mut self.procs[slot];
+            debug_assert_eq!(p.state, ProcState::Ready);
+            p.state = ProcState::Running;
+            if p.compute_remaining > quantum {
+                (quantum, false)
+            } else {
+                (p.compute_remaining, true)
+            }
+        };
+        // Per-request CPU cost: FS code + interrupt service, plus the SSD
+        // tier's copy penalty. SSD transfers do NOT suspend the process
+        // (§3: "I/Os to and from the SSD are done without suspending the
+        // process"), so the 1 µs/KB cost is charged as busy CPU here, not
+        // as blocking time.
+        let tier_penalty = if completing && self.cache.is_some() {
+            self.procs[slot]
+                .next_event()
+                .map(|e| self.config.tier.access_penalty(e.length))
+                .unwrap_or(SimDuration::ZERO)
+        } else {
+            SimDuration::ZERO
+        };
+        let per_io =
+            self.config.sched.fs_overhead + self.config.sched.interrupt_service + tier_penalty;
+        let mut slice = self.config.sched.ctx_switch + compute;
+        if completing {
+            slice += per_io;
+        }
+        self.procs[slot].cpu_used += compute + if completing { per_io } else { SimDuration::ZERO };
+        self.busy += slice;
+        self.overhead += self.config.sched.ctx_switch
+            + if completing { per_io } else { SimDuration::ZERO };
+        self.free_cpus -= 1;
+        self.slice_info.insert(slot, (compute, completing));
+        self.queue.schedule(now + slice, Ev::SliceDone { slot });
+        true
+    }
+
+    fn finish_process(&mut self, slot: usize, now: SimTime) {
+        let p = &mut self.procs[slot];
+        p.state = ProcState::Done;
+        p.finished_at = now;
+        self.wall_end = self.wall_end.max(now);
+    }
+
+    /// Handle the request the process has just reached. Returns the
+    /// blocking latency for a synchronous request.
+    fn service_request(&mut self, now: SimTime, ev: &IoEvent) -> SimDuration {
+        self.logical_series.add(now, ev.length as f64);
+        // Wait for any in-flight read-ahead covering this range. (The SSD
+        // tier's copy penalty is charged as CPU at dispatch, not here.)
+        let mut block = self.pending_wait(now, ev.file_id, ev.offset, ev.length);
+
+        if self.cache.is_none() {
+            let kind = if ev.dir == Direction::Read { AccessKind::Read } else { AccessKind::Write };
+            return block + self.device_op(now, kind, ev.file_id, ev.offset, ev.length);
+        }
+
+        match ev.dir {
+            Direction::Read => {
+                let out = {
+                    let cache = self.cache.as_mut().expect("checked above");
+                    cache.read(now, ev.process_id, ev.file_id, ev.offset, ev.length)
+                };
+                for wb in &out.writebacks {
+                    block += self.device_op(now, AccessKind::Write, wb.file_id, wb.offset, wb.length);
+                }
+                for f in &out.fetches {
+                    block += self.device_op(now, AccessKind::Read, f.file_id, f.offset, f.length);
+                }
+                // Read-ahead proceeds in the background after the demand
+                // fetch; the process does not wait for it.
+                let pf_start = now + block;
+                for pf in &out.prefetch {
+                    let d = self.device_op(now, AccessKind::Read, pf.file_id, pf.offset, pf.length);
+                    self.mark_pending(pf.file_id, pf.offset, pf.length, pf_start + d);
+                }
+            }
+            Direction::Write => {
+                let out = {
+                    let cache = self.cache.as_mut().expect("checked above");
+                    cache.write(now, ev.process_id, ev.file_id, ev.offset, ev.length)
+                };
+                for wb in &out.writebacks {
+                    block += self.device_op(now, AccessKind::Write, wb.file_id, wb.offset, wb.length);
+                }
+                for wt in &out.write_through {
+                    block += self.device_op(now, AccessKind::Write, wt.file_id, wt.offset, wt.length);
+                }
+                self.kick_flushers(now);
+            }
+        }
+        block
+    }
+
+    /// Pull flushable dirty data and keep every disk's flusher stream
+    /// busy.
+    fn kick_flushers(&mut self, now: SimTime) {
+        let Some(cache) = self.cache.as_mut() else { return };
+        // Refill per-disk queues while ready dirty data exists and some
+        // queue is short.
+        while cache.has_flushable(now)
+            && self.flush_queues.iter().map(|q| q.len()).sum::<usize>() < 4 * self.config.n_disks
+        {
+            let batch = cache.take_flush_batch(now, self.config.flush_batch);
+            if batch.is_empty() {
+                break;
+            }
+            for r in batch {
+                let disk = (r.file_id as usize) % self.config.n_disks;
+                self.flush_queues[disk].push_back(r);
+            }
+        }
+        // Arm the aging timer for delayed writes.
+        if let Some(cache) = self.cache.as_ref() {
+            if !self.flush_timer_armed {
+                if let Some(t) = cache.next_flush_ready() {
+                    if t > now {
+                        self.flush_timer_armed = true;
+                        self.queue.schedule(t, Ev::FlushTimer);
+                    }
+                }
+            }
+        }
+        for disk in 0..self.config.n_disks {
+            self.start_flush(disk, now);
+        }
+    }
+
+    fn start_flush(&mut self, disk: usize, now: SimTime) {
+        if self.flush_busy[disk] {
+            return;
+        }
+        let Some(r) = self.flush_queues[disk].pop_front() else { return };
+        let d = self.device_op(now, AccessKind::Write, r.file_id, r.offset, r.length);
+        self.flush_busy[disk] = true;
+        self.queue.schedule(now + d, Ev::FlushDone { disk });
+    }
+
+    fn all_done(&self) -> bool {
+        self.procs.iter().all(|p| p.state == ProcState::Done)
+    }
+
+    /// Run to completion and report.
+    pub fn run(mut self) -> SimReport {
+        for slot in 0..self.procs.len() {
+            if self.procs[slot].state == ProcState::Ready {
+                self.ready.push_back(slot);
+            } else {
+                // Born-done (empty trace).
+                self.procs[slot].state = ProcState::Done;
+            }
+        }
+        self.dispatch(SimTime::ZERO);
+
+        while let Some((now, ev)) = self.queue.pop() {
+            match ev {
+                Ev::SliceDone { slot } => {
+                    self.free_cpus += 1;
+                    let (compute, completing) = self
+                        .slice_info
+                        .remove(&slot)
+                        .expect("slice info set at dispatch");
+                    let p = &mut self.procs[slot];
+                    p.compute_remaining -= compute;
+                    if !completing {
+                        p.state = ProcState::Ready;
+                        self.ready.push_back(slot);
+                    } else {
+                        let ev = self.procs[slot].advance();
+                        let block = self.service_request(now, &ev);
+                        let p = &mut self.procs[slot];
+                        if ev.sync == Synchrony::Sync && !block.is_zero() {
+                            p.state = ProcState::Blocked;
+                            p.blocked_since = now;
+                            self.queue.schedule(now + block, Ev::IoDone { slot });
+                        } else {
+                            // Async request or a full cache hit: mark any
+                            // fetched data pending and continue.
+                            if ev.sync == Synchrony::Async && !block.is_zero() {
+                                self.mark_pending(ev.file_id, ev.offset, ev.length, now + block);
+                            }
+                            if self.procs[slot].exhausted() {
+                                self.finish_process(slot, now);
+                            } else {
+                                let p = &mut self.procs[slot];
+                                p.state = ProcState::Ready;
+                                self.ready.push_back(slot);
+                            }
+                        }
+                    }
+                    self.dispatch(now);
+                }
+                Ev::IoDone { slot } => {
+                    let p = &mut self.procs[slot];
+                    debug_assert_eq!(p.state, ProcState::Blocked);
+                    p.blocked_time += now.saturating_since(p.blocked_since);
+                    if p.exhausted() {
+                        self.finish_process(slot, now);
+                    } else {
+                        p.state = ProcState::Ready;
+                        self.ready.push_back(slot);
+                    }
+                    self.dispatch(now);
+                }
+                Ev::FlushDone { disk } => {
+                    self.flush_busy[disk] = false;
+                    if !self.all_done() {
+                        self.kick_flushers(now);
+                    } else {
+                        self.start_flush(disk, now);
+                    }
+                }
+                Ev::FlushTimer => {
+                    self.flush_timer_armed = false;
+                    self.kick_flushers(now);
+                }
+            }
+            if self.all_done()
+                && self.free_cpus == self.config.n_cpus
+                && self.ready.is_empty()
+            {
+                // Processes finished; any remaining flush traffic is
+                // accounted below without extending the measured run.
+                break;
+            }
+        }
+
+        // Quiesce: drain the remaining dirty data to the disks for
+        // accounting (does not extend the measured wall clock). This
+        // covers both ranges already pulled into flusher queues and
+        // blocks still dirty in the cache.
+        let end = self.wall_end;
+        let queued: Vec<ByteRange> =
+            self.flush_queues.iter_mut().flat_map(|q| q.drain(..)).collect();
+        for r in queued {
+            let disk = (r.file_id as usize) % self.config.n_disks;
+            let p = self.placements.get(&r.file_id).copied();
+            if let Some(p) = p {
+                self.disks[p.disk].access(end, AccessKind::Write, p.base + r.offset, r.length);
+            } else {
+                self.disks[disk].access(end, AccessKind::Write, r.offset, r.length);
+            }
+            self.disk_write_series.add(end, r.length as f64);
+        }
+        if let Some(cache) = self.cache.as_mut() {
+            let leftovers = cache.flush_all();
+            for r in leftovers {
+                let disk = (r.file_id as usize) % self.config.n_disks;
+                let p = self.placements.get(&r.file_id).copied();
+                if let Some(p) = p {
+                    self.disks[p.disk].access(end, AccessKind::Write, p.base + r.offset, r.length);
+                } else {
+                    self.disks[disk].access(end, AccessKind::Write, r.offset, r.length);
+                }
+                self.disk_write_series.add(end, r.length as f64);
+            }
+        }
+
+        let capacity = SimDuration::from_ticks(end.ticks() * self.config.n_cpus as u64);
+        let idle = capacity.saturating_sub(self.busy);
+        let mut disk_totals = storage_model::DeviceStats::default();
+        for d in &self.disks {
+            let s = d.stats();
+            disk_totals.reads += s.reads;
+            disk_totals.writes += s.writes;
+            disk_totals.bytes_read += s.bytes_read;
+            disk_totals.bytes_written += s.bytes_written;
+            disk_totals.busy += s.busy;
+        }
+        SimReport {
+            wall_end: end,
+            n_cpus: self.config.n_cpus,
+            cpu_busy: self.busy.min(capacity),
+            cpu_idle: idle,
+            overhead: self.overhead,
+            processes: self
+                .procs
+                .iter()
+                .map(|p| ProcessMetrics {
+                    pid: p.pid,
+                    name: p.name.clone(),
+                    cpu_used: p.cpu_used,
+                    blocked_time: p.blocked_time,
+                    finished_at: p.finished_at,
+                    ios_issued: p.ios_issued,
+                })
+                .collect(),
+            cache: self
+                .cache
+                .as_ref()
+                .map(|c| c.stats().clone())
+                .unwrap_or_default(),
+            disk_totals,
+            logical_series: self.logical_series,
+            disk_read_series: self.disk_read_series,
+            disk_write_series: self.disk_write_series,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buffer_cache::WritePolicy;
+    use sim_core::units::{KB, MB};
+
+    /// A simple synthetic app: `n` sequential reads of `io` bytes with
+    /// `gap` compute between them.
+    fn reader_trace(pid: u32, n: u64, io: u64, gap: SimDuration) -> Trace {
+        let mut t = Trace::new();
+        let mut wall = SimTime::ZERO;
+        for i in 0..n {
+            wall += gap;
+            t.push(IoEvent::logical(Direction::Read, pid, 1, i * io, io, wall, gap));
+        }
+        t
+    }
+
+    fn writer_trace(pid: u32, n: u64, io: u64, gap: SimDuration) -> Trace {
+        let mut t = Trace::new();
+        let mut wall = SimTime::ZERO;
+        for i in 0..n {
+            wall += gap;
+            let mut e = IoEvent::logical(Direction::Write, pid, 1, i * io, io, wall, gap);
+            e.sync = Synchrony::Sync;
+            t.push(e);
+        }
+        t
+    }
+
+    #[test]
+    fn single_reader_conserves_time() {
+        let mut sim = Simulation::new(SimConfig::buffered(8 * MB));
+        sim.add_process(1, "reader", &reader_trace(1, 100, 64 * KB, SimDuration::from_millis(5)));
+        let r = sim.run();
+        r.check_time_conservation();
+        assert_eq!(r.processes.len(), 1);
+        assert_eq!(r.processes[0].ios_issued, 100);
+        assert!(r.wall_end > SimTime::ZERO);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut sim = Simulation::new(SimConfig::buffered(8 * MB));
+            sim.add_process(1, "a", &reader_trace(1, 200, 64 * KB, SimDuration::from_millis(2)));
+            sim.add_process(2, "b", &writer_trace(2, 200, 64 * KB, SimDuration::from_millis(2)));
+            let r = sim.run();
+            (r.wall_end, r.cpu_busy, r.cpu_idle, r.disk_totals.total_bytes())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn cache_reduces_wall_time_for_rereads() {
+        // Read the same 4 MB five times over: with a cache most passes
+        // hit; without, every read goes to disk.
+        let make_trace = || {
+            let mut t = Trace::new();
+            let mut wall = SimTime::ZERO;
+            for pass in 0..5u64 {
+                for i in 0..64u64 {
+                    wall += SimDuration::from_millis(1);
+                    t.push(IoEvent::logical(
+                        Direction::Read,
+                        1,
+                        1,
+                        i * 64 * KB,
+                        64 * KB,
+                        wall,
+                        SimDuration::from_millis(1),
+                    ));
+                    let _ = pass;
+                }
+            }
+            t
+        };
+        let mut cached = Simulation::new(SimConfig::buffered(16 * MB));
+        cached.add_process(1, "r", &make_trace());
+        let with_cache = cached.run();
+
+        let mut uncached = Simulation::new(SimConfig::uncached());
+        uncached.add_process(1, "r", &make_trace());
+        let without = uncached.run();
+
+        assert!(
+            with_cache.wall_end < without.wall_end,
+            "cache {} should beat no cache {}",
+            with_cache.wall_end,
+            without.wall_end
+        );
+        assert!(with_cache.cache.hit_blocks > 0);
+    }
+
+    #[test]
+    fn write_behind_beats_write_through() {
+        let trace = writer_trace(1, 300, 64 * KB, SimDuration::from_millis(1));
+        let mut wb_cfg = SimConfig::buffered(64 * MB);
+        wb_cfg.cache.as_mut().unwrap().write_policy = WritePolicy::WriteBehind;
+        let mut wb = Simulation::new(wb_cfg);
+        wb.add_process(1, "w", &trace);
+        let wb_r = wb.run();
+
+        let mut wt_cfg = SimConfig::buffered(64 * MB);
+        wt_cfg.cache.as_mut().unwrap().write_policy = WritePolicy::WriteThrough;
+        let mut wt = Simulation::new(wt_cfg);
+        wt.add_process(1, "w", &trace);
+        let wt_r = wt.run();
+
+        assert!(
+            wb_r.cpu_idle < wt_r.cpu_idle,
+            "write-behind idle {} should beat write-through {}",
+            wb_r.cpu_idle,
+            wt_r.cpu_idle
+        );
+    }
+
+    #[test]
+    fn read_ahead_hides_latency_for_sequential_reads() {
+        let trace = reader_trace(1, 500, 64 * KB, SimDuration::from_millis(20));
+        let mut ra_cfg = SimConfig::buffered(64 * MB);
+        ra_cfg.cache.as_mut().unwrap().read_ahead = true;
+        let mut ra = Simulation::new(ra_cfg);
+        ra.add_process(1, "r", &trace);
+        let ra_r = ra.run();
+
+        let mut nra_cfg = SimConfig::buffered(64 * MB);
+        nra_cfg.cache.as_mut().unwrap().read_ahead = false;
+        let mut nra = Simulation::new(nra_cfg);
+        nra.add_process(1, "r", &trace);
+        let nra_r = nra.run();
+
+        assert!(
+            ra_r.cpu_idle < nra_r.cpu_idle / 2,
+            "read-ahead idle {} should slash no-read-ahead idle {}",
+            ra_r.cpu_idle,
+            nra_r.cpu_idle
+        );
+        assert!(ra_r.cache.readahead_hit_blocks > 0);
+    }
+
+    #[test]
+    fn async_process_never_blocks() {
+        let mut t = Trace::new();
+        let mut wall = SimTime::ZERO;
+        for i in 0..200u64 {
+            wall += SimDuration::from_millis(2);
+            let mut e =
+                IoEvent::logical(Direction::Read, 1, 1, i * 64 * KB, 64 * KB, wall, SimDuration::from_millis(2));
+            e.sync = Synchrony::Async;
+            t.push(e);
+        }
+        let mut sim = Simulation::new(SimConfig::buffered(4 * MB)); // tiny cache
+        sim.add_process(1, "les-like", &t);
+        let r = sim.run();
+        assert_eq!(r.processes[0].blocked_time, SimDuration::ZERO);
+        assert!(r.utilization() > 0.95, "async app should keep CPU busy: {}", r.utilization());
+    }
+
+    #[test]
+    fn two_processes_overlap_compute_and_io() {
+        // One process alone idles while waiting on disk; a second fills
+        // the gap — the n+1 rule of §2.2.
+        let t1 = reader_trace(1, 300, 256 * KB, SimDuration::from_millis(5));
+        let t2 = reader_trace(2, 300, 256 * KB, SimDuration::from_millis(5));
+        let solo = {
+            let mut sim = Simulation::new(SimConfig::buffered(4 * MB));
+            sim.add_process(1, "solo", &t1);
+            sim.run()
+        };
+        let duo = {
+            let mut sim = Simulation::new(SimConfig::buffered(4 * MB));
+            sim.add_process(1, "a", &t1);
+            sim.add_process(2, "b", &t2);
+            sim.run()
+        };
+        assert!(
+            duo.utilization() > solo.utilization(),
+            "duo {} should beat solo {}",
+            duo.utilization(),
+            solo.utilization()
+        );
+        // And the duo finishes in far less than twice the solo time.
+        assert!(duo.wall_secs() < 1.9 * solo.wall_secs());
+    }
+
+    #[test]
+    fn disk_traffic_is_accounted() {
+        let mut sim = Simulation::new(SimConfig::buffered(8 * MB));
+        sim.add_process(1, "w", &writer_trace(1, 100, 64 * KB, SimDuration::from_millis(1)));
+        let r = sim.run();
+        // Everything written must reach the disks (flush or quiesce).
+        assert_eq!(r.disk_totals.bytes_written, 100 * 64 * KB);
+        let series_total: f64 = r.disk_write_series.bins().iter().sum();
+        assert_eq!(series_total as u64, 100 * 64 * KB);
+    }
+
+    #[test]
+    fn uncached_reads_hit_disk_every_time() {
+        let mut sim = Simulation::new(SimConfig::uncached());
+        sim.add_process(1, "r", &reader_trace(1, 50, 64 * KB, SimDuration::from_millis(1)));
+        let r = sim.run();
+        assert_eq!(r.disk_totals.reads, 50);
+        assert_eq!(r.disk_totals.bytes_read, 50 * 64 * KB);
+    }
+
+    #[test]
+    fn ssd_tier_adds_penalty_but_stays_fast() {
+        let trace = reader_trace(1, 200, 256 * KB, SimDuration::from_millis(1));
+        let mut mm = Simulation::new(SimConfig::buffered(64 * MB));
+        mm.add_process(1, "r", &trace);
+        let mm_r = mm.run();
+        let mut ssd_cfg = SimConfig::ssd();
+        ssd_cfg.cache.as_mut().unwrap().capacity = 64 * MB;
+        let mut ssd = Simulation::new(ssd_cfg);
+        ssd.add_process(1, "r", &trace);
+        let ssd_r = ssd.run();
+        // SSD adds per-access microseconds: slightly slower than main
+        // memory, far faster than no cache.
+        assert!(ssd_r.wall_end >= mm_r.wall_end);
+        assert!(ssd_r.wall_end.ticks() < mm_r.wall_end.ticks() * 2);
+    }
+
+    #[test]
+    fn per_process_cap_hurts_utilization() {
+        // The §6.2 finding: an ownership cap worsens things.
+        let t1 = reader_trace(1, 400, 256 * KB, SimDuration::from_millis(3));
+        let t2 = reader_trace(2, 400, 256 * KB, SimDuration::from_millis(3));
+        let run = |cap: Option<u64>| {
+            let mut cfg = SimConfig::buffered(8 * MB);
+            cfg.cache.as_mut().unwrap().per_process_cap_blocks = cap;
+            let mut sim = Simulation::new(cfg);
+            sim.add_process(1, "a", &t1);
+            sim.add_process(2, "b", &t2);
+            sim.run()
+        };
+        let uncapped = run(None);
+        let capped = run(Some(4));
+        assert!(
+            capped.cpu_idle >= uncapped.cpu_idle,
+            "capped idle {} should not beat uncapped {}",
+            capped.cpu_idle,
+            uncapped.cpu_idle
+        );
+    }
+
+    #[test]
+    fn empty_simulation_reports_zeroes() {
+        let sim = Simulation::new(SimConfig::default());
+        let r = sim.run();
+        assert_eq!(r.wall_end, SimTime::ZERO);
+        assert_eq!(r.utilization(), 0.0);
+        r.check_time_conservation();
+    }
+
+    #[test]
+    fn sprite_delayed_writes_flush_via_the_aging_timer() {
+        // Write a burst, then compute quietly for a minute: the 30 s
+        // delayed-write timer must wake the flusher without any further
+        // I/O activity, so the data reaches the disks long before the
+        // quiesce path.
+        let mut t = Trace::new();
+        let mut wall = SimTime::ZERO;
+        for i in 0..16u64 {
+            wall += SimDuration::from_millis(1);
+            t.push(IoEvent::logical(
+                Direction::Write, 1, 1, i * 64 * KB, 64 * KB, wall, SimDuration::from_millis(1),
+            ));
+        }
+        // One final read 60 CPU-seconds later keeps the process alive
+        // past the aging deadline.
+        wall += SimDuration::from_secs(60);
+        t.push(IoEvent::logical(
+            Direction::Read, 1, 2, 0, 4 * KB, wall, SimDuration::from_secs(60),
+        ));
+        let mut cfg = SimConfig::buffered(64 * MB);
+        cfg.cache.as_mut().unwrap().write_policy = buffer_cache::WritePolicy::sprite();
+        let mut sim = Simulation::new(cfg);
+        sim.add_process(1, "w", &t);
+        let r = sim.run();
+        // All 1 MB of writes reached disk, and the flush traffic lands in
+        // the ~30 s bin, not at the end-of-run quiesce (~60 s).
+        assert_eq!(r.disk_totals.bytes_written, 16 * 64 * KB);
+        let writes = r.disk_write_series.bins();
+        let flushed_by_35s: f64 = writes.iter().take(36).sum();
+        assert!(
+            flushed_by_35s as u64 >= 16 * 64 * KB,
+            "delayed writes should flush at ~30s: {writes:?}"
+        );
+    }
+
+    #[test]
+    fn two_cpus_run_compute_bound_jobs_in_parallel() {
+        // Two processes with long compute gaps and one tiny I/O each: on
+        // one CPU the wall time doubles; on two CPUs they overlap.
+        let make = |pid| reader_trace(pid, 20, 4 * KB, SimDuration::from_millis(50));
+        let run = |cpus: usize| {
+            let mut cfg = SimConfig::buffered(8 * MB);
+            cfg.n_cpus = cpus;
+            let mut sim = Simulation::new(cfg);
+            sim.add_process(1, "a", &make(1));
+            sim.add_process(2, "b", &make(2));
+            let r = sim.run();
+            r.check_time_conservation();
+            r
+        };
+        let uni = run(1);
+        let dual = run(2);
+        assert_eq!(dual.n_cpus, 2);
+        assert!(
+            dual.wall_secs() < 0.7 * uni.wall_secs(),
+            "2 CPUs {:.2}s should beat 1 CPU {:.2}s",
+            dual.wall_secs(),
+            uni.wall_secs()
+        );
+    }
+
+    #[test]
+    fn multi_cpu_utilization_accounts_all_cpus() {
+        // One process on four CPUs: at most a quarter of capacity is busy.
+        let mut cfg = SimConfig::buffered(8 * MB);
+        cfg.n_cpus = 4;
+        let mut sim = Simulation::new(cfg);
+        sim.add_process(1, "solo", &reader_trace(1, 50, 4 * KB, SimDuration::from_millis(10)));
+        let r = sim.run();
+        r.check_time_conservation();
+        assert!(r.utilization() <= 0.26, "solo on 4 CPUs: {:.3}", r.utilization());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate pid")]
+    fn duplicate_pids_rejected() {
+        let mut sim = Simulation::new(SimConfig::default());
+        let t = reader_trace(1, 1, KB, SimDuration::from_millis(1));
+        sim.add_process(1, "a", &t);
+        sim.add_process(1, "b", &t);
+    }
+}

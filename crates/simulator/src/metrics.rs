@@ -1,0 +1,152 @@
+//! Simulation results: the quantities the paper's §6 figures and claims
+//! are built from.
+
+use buffer_cache::CacheStats;
+use serde::{Deserialize, Serialize};
+use sim_core::{RateSeries, SimDuration, SimTime};
+use storage_model::DeviceStats;
+
+/// Per-process outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProcessMetrics {
+    /// Process id.
+    pub pid: u32,
+    /// Name (e.g. "venus#1").
+    pub name: String,
+    /// CPU consumed (compute + charged overheads).
+    pub cpu_used: SimDuration,
+    /// Time spent blocked on I/O.
+    pub blocked_time: SimDuration,
+    /// Wall-clock completion time.
+    pub finished_at: SimTime,
+    /// Requests issued.
+    pub ios_issued: u64,
+}
+
+/// Whole-run outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Wall-clock time at which the last process finished.
+    pub wall_end: SimTime,
+    /// Number of CPUs simulated (1 in the paper's configuration).
+    pub n_cpus: usize,
+    /// CPU busy time across all CPUs (compute + FS code + context
+    /// switches + interrupt service).
+    pub cpu_busy: SimDuration,
+    /// CPU idle time: wall time during which no process was runnable.
+    pub cpu_idle: SimDuration,
+    /// Of `cpu_busy`, the part that was pure overhead (FS code, context
+    /// switches, interrupts).
+    pub overhead: SimDuration,
+    /// Per-process outcomes.
+    pub processes: Vec<ProcessMetrics>,
+    /// Cache statistics snapshot (zeroed when uncached).
+    pub cache: CacheStats,
+    /// Aggregate disk-farm statistics.
+    pub disk_totals: DeviceStats,
+    /// Wall-binned application→cache traffic (logical demand).
+    pub logical_series: RateSeries,
+    /// Wall-binned cache→disk read traffic (demand misses + prefetch).
+    pub disk_read_series: RateSeries,
+    /// Wall-binned cache→disk write traffic (flushes, writebacks,
+    /// write-through).
+    pub disk_write_series: RateSeries,
+}
+
+impl SimReport {
+    /// CPU utilization over the run: busy / (CPUs × wall).
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.wall_end.ticks() * self.n_cpus.max(1) as u64;
+        if capacity == 0 {
+            return 0.0;
+        }
+        self.cpu_busy.ticks() as f64 / capacity as f64
+    }
+
+    /// Idle seconds — the Figure 8 y-axis.
+    pub fn idle_secs(&self) -> f64 {
+        self.cpu_idle.as_secs_f64()
+    }
+
+    /// Wall-clock seconds for the whole run.
+    pub fn wall_secs(&self) -> f64 {
+        self.wall_end.as_secs_f64()
+    }
+
+    /// The conservation identity the property tests check:
+    /// busy + idle = CPUs × wall (within one tick of rounding).
+    pub fn check_time_conservation(&self) {
+        let lhs = self.cpu_busy.ticks() + self.cpu_idle.ticks();
+        let rhs = self.wall_end.ticks() * self.n_cpus.max(1) as u64;
+        assert!(
+            lhs.abs_diff(rhs) <= 1,
+            "busy {} + idle {} != {} cpus x wall {}",
+            self.cpu_busy.ticks(),
+            self.cpu_idle.ticks(),
+            self.n_cpus,
+            self.wall_end.ticks()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_and_conservation() {
+        let r = SimReport {
+            wall_end: SimTime::from_secs(100),
+            n_cpus: 1,
+            cpu_busy: SimDuration::from_secs(80),
+            cpu_idle: SimDuration::from_secs(20),
+            overhead: SimDuration::from_secs(2),
+            processes: vec![],
+            cache: CacheStats::default(),
+            disk_totals: DeviceStats::default(),
+            logical_series: RateSeries::per_second(),
+            disk_read_series: RateSeries::per_second(),
+            disk_write_series: RateSeries::per_second(),
+        };
+        assert!((r.utilization() - 0.8).abs() < 1e-12);
+        assert_eq!(r.idle_secs(), 20.0);
+        r.check_time_conservation();
+    }
+
+    #[test]
+    #[should_panic(expected = "cpus x wall")]
+    fn conservation_violation_detected() {
+        let r = SimReport {
+            wall_end: SimTime::from_secs(100),
+            n_cpus: 1,
+            cpu_busy: SimDuration::from_secs(10),
+            cpu_idle: SimDuration::from_secs(20),
+            overhead: SimDuration::ZERO,
+            processes: vec![],
+            cache: CacheStats::default(),
+            disk_totals: DeviceStats::default(),
+            logical_series: RateSeries::per_second(),
+            disk_read_series: RateSeries::per_second(),
+            disk_write_series: RateSeries::per_second(),
+        };
+        r.check_time_conservation();
+    }
+
+    #[test]
+    fn zero_wall_utilization_is_zero() {
+        let r = SimReport {
+            wall_end: SimTime::ZERO,
+            n_cpus: 1,
+            cpu_busy: SimDuration::ZERO,
+            cpu_idle: SimDuration::ZERO,
+            overhead: SimDuration::ZERO,
+            processes: vec![],
+            cache: CacheStats::default(),
+            disk_totals: DeviceStats::default(),
+            logical_series: RateSeries::per_second(),
+            disk_read_series: RateSeries::per_second(),
+            disk_write_series: RateSeries::per_second(),
+        };
+        assert_eq!(r.utilization(), 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Trace-driven process state.
+
+use iotrace::{IoEvent, Trace};
+use sim_core::{SimDuration, SimTime};
+
+/// Where a process is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcState {
+    /// Runnable, waiting for the CPU.
+    Ready,
+    /// Currently holding the CPU.
+    Running,
+    /// Suspended awaiting an I/O completion.
+    Blocked,
+    /// Trace exhausted.
+    Done,
+}
+
+/// One simulated process replaying a logical trace.
+#[derive(Debug)]
+pub struct ProcessState {
+    /// Process id (from the trace).
+    pub pid: u32,
+    /// Human-readable name for reports.
+    pub name: String,
+    /// The I/O events to replay, in order.
+    events: Vec<IoEvent>,
+    /// Index of the next event to issue.
+    cursor: usize,
+    /// Compute remaining before the next event may issue.
+    pub compute_remaining: SimDuration,
+    /// Lifecycle state.
+    pub state: ProcState,
+    /// Total CPU consumed so far (compute + charged overheads).
+    pub cpu_used: SimDuration,
+    /// Total time spent blocked on I/O.
+    pub blocked_time: SimDuration,
+    /// When the process finished (valid once `Done`).
+    pub finished_at: SimTime,
+    /// When the process last became blocked (internal bookkeeping).
+    pub blocked_since: SimTime,
+    /// Number of I/O requests issued.
+    pub ios_issued: u64,
+}
+
+impl ProcessState {
+    /// Build from a trace; the process starts Ready with the first
+    /// event's `processTime` as its initial compute.
+    pub fn new(pid: u32, name: impl Into<String>, trace: &Trace) -> ProcessState {
+        let events: Vec<IoEvent> = trace.events().cloned().collect();
+        let first_compute =
+            events.first().map(|e| e.process_time).unwrap_or(SimDuration::ZERO);
+        let state = if events.is_empty() { ProcState::Done } else { ProcState::Ready };
+        ProcessState {
+            pid,
+            name: name.into(),
+            events,
+            cursor: 0,
+            compute_remaining: first_compute,
+            state,
+            cpu_used: SimDuration::ZERO,
+            blocked_time: SimDuration::ZERO,
+            finished_at: SimTime::ZERO,
+            blocked_since: SimTime::ZERO,
+            ios_issued: 0,
+        }
+    }
+
+    /// The event the process will issue once its compute drains.
+    pub fn next_event(&self) -> Option<&IoEvent> {
+        self.events.get(self.cursor)
+    }
+
+    /// Consume the next event (it has just been issued) and load the
+    /// compute gap preceding the following one. Returns the issued event.
+    pub fn advance(&mut self) -> IoEvent {
+        let ev = self.events[self.cursor];
+        self.cursor += 1;
+        self.ios_issued += 1;
+        self.compute_remaining = self
+            .events
+            .get(self.cursor)
+            .map(|e| e.process_time)
+            .unwrap_or(SimDuration::ZERO);
+        ev
+    }
+
+    /// True when every event has been issued.
+    pub fn exhausted(&self) -> bool {
+        self.cursor >= self.events.len()
+    }
+
+    /// Total CPU demand of the remaining trace (diagnostics).
+    pub fn remaining_cpu_demand(&self) -> SimDuration {
+        let tail: u64 =
+            self.events[self.cursor.min(self.events.len())..]
+                .iter()
+                .map(|e| e.process_time.ticks())
+                .sum();
+        self.compute_remaining + SimDuration::from_ticks(tail)
+            - self.events.get(self.cursor).map(|e| e.process_time).unwrap_or(SimDuration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotrace::Direction;
+
+    fn trace() -> Trace {
+        let mut t = Trace::new();
+        for i in 0..3u64 {
+            t.push(IoEvent::logical(
+                Direction::Read,
+                1,
+                1,
+                i * 512,
+                512,
+                SimTime::from_ticks(i * 1000),
+                SimDuration::from_ticks(100 * (i + 1)),
+            ));
+        }
+        t
+    }
+
+    #[test]
+    fn replays_in_order_with_compute_gaps() {
+        let mut p = ProcessState::new(1, "t", &trace());
+        assert_eq!(p.state, ProcState::Ready);
+        assert_eq!(p.compute_remaining, SimDuration::from_ticks(100));
+        let e1 = p.advance();
+        assert_eq!(e1.offset, 0);
+        assert_eq!(p.compute_remaining, SimDuration::from_ticks(200));
+        p.advance();
+        assert_eq!(p.compute_remaining, SimDuration::from_ticks(300));
+        assert!(!p.exhausted());
+        p.advance();
+        assert!(p.exhausted());
+        assert_eq!(p.ios_issued, 3);
+    }
+
+    #[test]
+    fn empty_trace_is_born_done() {
+        let p = ProcessState::new(1, "empty", &Trace::new());
+        assert_eq!(p.state, ProcState::Done);
+        assert!(p.exhausted());
+        assert!(p.next_event().is_none());
+    }
+
+    #[test]
+    fn remaining_demand_counts_tail() {
+        let p = ProcessState::new(1, "t", &trace());
+        // 100 + 200 + 300 ticks total.
+        assert_eq!(p.remaining_cpu_demand(), SimDuration::from_ticks(600));
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests for the simulator: time conservation, determinism, and
+//! write conservation hold for arbitrary well-formed trace mixes.
+
+use iosim::{SimConfig, Simulation};
+use iotrace::{Direction, IoEvent, Synchrony, Trace};
+use proptest::prelude::*;
+use sim_core::units::KB;
+use sim_core::{SimDuration, SimTime};
+
+#[derive(Debug, Clone)]
+struct ProcPlan {
+    n_ios: u64,
+    io_size: u64,
+    gap_ms: u64,
+    write_fraction: u8, // percent
+    async_io: bool,
+    file_count: u32,
+}
+
+fn arb_plan() -> impl Strategy<Value = ProcPlan> {
+    (
+        1u64..80,
+        prop::sample::select(vec![4u64 * KB, 64 * KB, 100_000, 256 * KB]),
+        0u64..10,
+        0u8..=100,
+        any::<bool>(),
+        1u32..4,
+    )
+        .prop_map(|(n_ios, io_size, gap_ms, write_fraction, async_io, file_count)| ProcPlan {
+            n_ios,
+            io_size,
+            gap_ms,
+            write_fraction,
+            async_io,
+            file_count,
+        })
+}
+
+fn build_trace(pid: u32, plan: &ProcPlan) -> Trace {
+    let mut t = Trace::new();
+    let mut wall = SimTime::ZERO;
+    for i in 0..plan.n_ios {
+        let gap = SimDuration::from_millis(plan.gap_ms.max(1));
+        wall += gap;
+        let dir = if (i * 100 / plan.n_ios.max(1)) < plan.write_fraction as u64 {
+            Direction::Write
+        } else {
+            Direction::Read
+        };
+        let file = 1 + (i as u32 % plan.file_count);
+        let mut e = IoEvent::logical(
+            dir,
+            pid,
+            file,
+            (i / plan.file_count as u64) * plan.io_size,
+            plan.io_size,
+            wall,
+            gap,
+        );
+        if plan.async_io {
+            e.sync = Synchrony::Async;
+        }
+        t.push(e);
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn conservation_and_determinism(
+        plans in proptest::collection::vec(arb_plan(), 1..4),
+        cache_mb in prop::sample::select(vec![1u64, 4, 16]),
+        cached in any::<bool>(),
+    ) {
+        let run = || {
+            let config = if cached {
+                SimConfig::buffered(cache_mb * 1024 * 1024)
+            } else {
+                SimConfig::uncached()
+            };
+            let mut sim = Simulation::new(config);
+            for (i, plan) in plans.iter().enumerate() {
+                let pid = (i + 1) as u32;
+                sim.add_process(pid, format!("p{pid}"), &build_trace(pid, plan));
+            }
+            sim.run()
+        };
+        let a = run();
+        a.check_time_conservation();
+        let b = run();
+        prop_assert_eq!(a.wall_end, b.wall_end);
+        prop_assert_eq!(a.cpu_busy, b.cpu_busy);
+        prop_assert_eq!(a.disk_totals.total_bytes(), b.disk_totals.total_bytes());
+
+        // Write conservation: every logically-written byte reaches the
+        // disks by quiesce (flush, writeback, or write-through).
+        let logical_writes: u64 = plans
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                build_trace((i + 1) as u32, p)
+                    .events()
+                    .filter(|e| e.dir == Direction::Write)
+                    .map(|e| e.length)
+                    .sum::<u64>()
+            })
+            .sum();
+        if cached {
+            // Block-granular rounding can only round *up*.
+            prop_assert!(
+                a.disk_totals.bytes_written >= logical_writes,
+                "disk writes {} < logical writes {}",
+                a.disk_totals.bytes_written,
+                logical_writes
+            );
+        } else {
+            prop_assert_eq!(a.disk_totals.bytes_written, logical_writes);
+        }
+
+        // Utilization is a fraction.
+        prop_assert!(a.utilization() <= 1.0 + 1e-9);
+
+        // Every process finished and issued all its I/Os.
+        for (i, plan) in plans.iter().enumerate() {
+            prop_assert_eq!(a.processes[i].ios_issued, plan.n_ios);
+        }
+    }
+
+    #[test]
+    fn caching_never_reads_more_than_uncached(
+        plan in arb_plan(),
+    ) {
+        // Demand misses + prefetch can re-read, but an uncached run reads
+        // every request from disk; a cached run's *demand* traffic must
+        // not exceed total logical reads by more than block rounding +
+        // prefetch of one request ahead.
+        let trace = build_trace(1, &plan);
+        let logical_reads: u64 = trace
+            .events()
+            .filter(|e| e.dir == Direction::Read)
+            .map(|e| e.length)
+            .sum();
+        let mut sim = Simulation::new(SimConfig::buffered(16 * 1024 * 1024));
+        sim.add_process(1, "p", &trace);
+        let r = sim.run();
+        let slack = (plan.n_ios + 2) * (plan.io_size + 8 * KB);
+        prop_assert!(
+            r.disk_totals.bytes_read <= logical_reads + slack,
+            "cached read traffic {} wildly exceeds logical {}",
+            r.disk_totals.bytes_read,
+            logical_reads
+        );
+    }
+}

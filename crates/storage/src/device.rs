@@ -1,0 +1,106 @@
+//! The device interface the buffering simulator drives, plus shared
+//! per-device accounting.
+
+use serde::{Deserialize, Serialize};
+use sim_core::{SimDuration, SimTime};
+
+/// Read or write, from the device's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Data moves device → memory.
+    Read,
+    /// Data moves memory → device.
+    Write,
+}
+
+/// Per-device accounting, accumulated by every [`BlockDevice`]
+/// implementation.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DeviceStats {
+    /// Number of read requests serviced.
+    pub reads: u64,
+    /// Number of write requests serviced.
+    pub writes: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Total time the device spent servicing requests (includes any
+    /// queueing wait when the model queues).
+    pub busy: SimDuration,
+}
+
+impl DeviceStats {
+    /// Total requests serviced.
+    pub fn total_requests(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    pub(crate) fn note(&mut self, kind: AccessKind, bytes: u64, service: SimDuration) {
+        match kind {
+            AccessKind::Read => {
+                self.reads += 1;
+                self.bytes_read += bytes;
+            }
+            AccessKind::Write => {
+                self.writes += 1;
+                self.bytes_written += bytes;
+            }
+        }
+        self.busy += service;
+    }
+}
+
+/// A storage device that can service block requests.
+///
+/// `access` is called with the current simulation time and returns the
+/// latency until the request completes — including any positioning cost
+/// and (for queueing models) the wait behind earlier requests.
+pub trait BlockDevice {
+    /// Human-readable device name for reports.
+    fn name(&self) -> &str;
+
+    /// Device capacity in bytes.
+    fn capacity(&self) -> u64;
+
+    /// Service a request for `length` bytes at `offset`, returning the
+    /// time until completion measured from `now`.
+    fn access(&mut self, now: SimTime, kind: AccessKind, offset: u64, length: u64)
+        -> SimDuration;
+
+    /// Whether a request to this device suspends the issuing process.
+    /// Disks do; the SSD does not (§3: "I/Os to and from the SSD are done
+    /// without suspending the process, because the data is retrieved
+    /// quickly").
+    fn suspends_process(&self) -> bool {
+        true
+    }
+
+    /// Accumulated accounting.
+    fn stats(&self) -> &DeviceStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_accumulate_by_kind() {
+        let mut s = DeviceStats::default();
+        s.note(AccessKind::Read, 4096, SimDuration::from_millis(2));
+        s.note(AccessKind::Write, 1024, SimDuration::from_millis(3));
+        s.note(AccessKind::Read, 100, SimDuration::from_millis(1));
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.bytes_read, 4196);
+        assert_eq!(s.bytes_written, 1024);
+        assert_eq!(s.total_requests(), 3);
+        assert_eq!(s.total_bytes(), 5220);
+        assert_eq!(s.busy, SimDuration::from_millis(6));
+    }
+}

@@ -1,0 +1,269 @@
+//! The paper's disk model: positional seek + rotation + streaming
+//! transfer, with optional request queueing.
+//!
+//! §6.1: "The disk model, like the scheduler, is a simple one. … seek
+//! times could only be approximated. There was no queueing at the disks,
+//! so the completion time of a specific I/O was dependent only on the
+//! location of the I/O and how 'close' the I/O was to the previous I/O."
+//!
+//! §6.2 adds the two numbers the model must reproduce: a sustained
+//! transfer rate of 9.6 MB/s and large-transfer seeks of "as long as
+//! 15 ms (the Cray Y-MP disks seek relatively slowly)".
+//!
+//! The reproduction keeps the paper-faithful *no-queueing* mode as the
+//! default and offers a queueing mode as the ablation the paper says it
+//! lacked (its explanation for why read-ahead failed to smooth disk
+//! traffic in Figure 6).
+
+use crate::device::{AccessKind, BlockDevice, DeviceStats};
+use serde::{Deserialize, Serialize};
+use sim_core::units::MB;
+use sim_core::{SimDuration, SimTime};
+
+/// Tunable disk parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiskParams {
+    /// Capacity in bytes; also normalizes seek distance.
+    pub capacity: u64,
+    /// Sustained transfer rate in MB/s.
+    pub transfer_mb_per_sec: f64,
+    /// Positioning cost for an access adjacent to the previous one
+    /// (track-to-track / settle).
+    pub min_seek: SimDuration,
+    /// Positioning cost for a full-stroke seek.
+    pub max_seek: SimDuration,
+    /// Average rotational latency added to every seek-requiring access
+    /// (half a revolution of a 3600 RPM era drive ≈ 8.3 ms).
+    pub avg_rotation: SimDuration,
+    /// Fixed controller/command overhead per request.
+    pub overhead: SimDuration,
+    /// When true, requests queue behind one another (FIFO); when false
+    /// (the paper's mode) every request is serviced as if the device were
+    /// idle.
+    pub queueing: bool,
+}
+
+impl Default for DiskParams {
+    /// The Cray Y-MP DD-40-class disk of §2.2/§6.2.
+    fn default() -> Self {
+        DiskParams {
+            capacity: 1200 * MB,
+            transfer_mb_per_sec: sim_core::units::YMP_DISK_MB_PER_SEC,
+            min_seek: SimDuration::from_millis(4),
+            max_seek: SimDuration::from_millis(15),
+            avg_rotation: SimDuration::from_micros(8_300),
+            overhead: SimDuration::from_micros(500),
+            queueing: false,
+        }
+    }
+}
+
+impl DiskParams {
+    /// The paper-faithful configuration (no queueing).
+    pub fn ymp() -> Self {
+        Self::default()
+    }
+
+    /// Same drive with FIFO queueing enabled — the ablation for the
+    /// paper's admitted simplification.
+    pub fn ymp_with_queueing() -> Self {
+        DiskParams { queueing: true, ..Self::default() }
+    }
+}
+
+/// A single disk. Tracks head position (as a byte address) and, when
+/// queueing, the time the device becomes free.
+#[derive(Debug, Clone)]
+pub struct DiskModel {
+    params: DiskParams,
+    name: String,
+    /// Byte address the head is parked at after the previous request.
+    head: u64,
+    /// When the device finishes its current queue (queueing mode only).
+    free_at: SimTime,
+    stats: DeviceStats,
+}
+
+impl DiskModel {
+    /// A disk with the given parameters.
+    pub fn new(name: impl Into<String>, params: DiskParams) -> Self {
+        DiskModel {
+            params,
+            name: name.into(),
+            head: 0,
+            free_at: SimTime::ZERO,
+            stats: DeviceStats::default(),
+        }
+    }
+
+    /// The Y-MP disk, paper-faithful mode.
+    pub fn ymp() -> Self {
+        DiskModel::new("ymp-disk", DiskParams::ymp())
+    }
+
+    /// Parameters in use.
+    pub fn params(&self) -> &DiskParams {
+        &self.params
+    }
+
+    /// Positioning (seek + rotation) cost for a request at `offset` given
+    /// the current head position. Zero when the request is exactly
+    /// sequential with the previous one (the head is already there and the
+    /// platter keeps streaming).
+    pub fn position_cost(&self, offset: u64) -> SimDuration {
+        if offset == self.head {
+            return SimDuration::ZERO;
+        }
+        let distance = self.head.abs_diff(offset) as f64 / self.params.capacity.max(1) as f64;
+        // Square-root seek curve: short seeks dominated by settle time,
+        // long seeks approach the full stroke linearly-in-sqrt — the usual
+        // first-order fit for drives of this era.
+        let frac = distance.min(1.0).sqrt();
+        let min = self.params.min_seek.ticks() as f64;
+        let max = self.params.max_seek.ticks() as f64;
+        let seek = SimDuration::from_ticks((min + (max - min) * frac).round() as u64);
+        seek + self.params.avg_rotation
+    }
+
+    /// Pure transfer time for `length` bytes at the sustained rate.
+    pub fn transfer_time(&self, length: u64) -> SimDuration {
+        let secs = length as f64 / (self.params.transfer_mb_per_sec * MB as f64);
+        SimDuration::from_secs_f64(secs)
+    }
+}
+
+impl BlockDevice for DiskModel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn capacity(&self) -> u64 {
+        self.params.capacity
+    }
+
+    fn access(
+        &mut self,
+        now: SimTime,
+        kind: AccessKind,
+        offset: u64,
+        length: u64,
+    ) -> SimDuration {
+        let service =
+            self.params.overhead + self.position_cost(offset) + self.transfer_time(length);
+        let latency = if self.params.queueing {
+            let begin = self.free_at.max(now);
+            let done = begin + service;
+            self.free_at = done;
+            done.saturating_since(now)
+        } else {
+            service
+        };
+        self.head = offset + length;
+        self.stats.note(kind, length, latency);
+        latency
+    }
+
+    fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk() -> DiskModel {
+        DiskModel::ymp()
+    }
+
+    #[test]
+    fn sequential_access_pays_no_seek() {
+        let mut d = disk();
+        d.access(SimTime::ZERO, AccessKind::Read, 0, 4096);
+        // Head is now at 4096; the next sequential request skips seek and
+        // rotation entirely.
+        assert_eq!(d.position_cost(4096), SimDuration::ZERO);
+        let seq = d.access(SimTime::ZERO, AccessKind::Read, 4096, 4096);
+        let expected = d.params().overhead + d.transfer_time(4096);
+        assert_eq!(seq, expected);
+    }
+
+    #[test]
+    fn long_seek_costs_more_than_short() {
+        let d = disk();
+        let near = d.position_cost(MB);
+        let far = d.position_cost(1000 * MB);
+        assert!(far > near, "far {far} should exceed near {near}");
+        // And the far seek is bounded by max_seek + rotation.
+        assert!(far <= d.params().max_seek + d.params().avg_rotation);
+        assert!(near >= d.params().min_seek);
+    }
+
+    #[test]
+    fn transfer_rate_matches_spec() {
+        let d = disk();
+        // 9.6 MB at 9.6 MB/s = 1 second.
+        let t = d.transfer_time((9.6 * MB as f64) as u64);
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-3, "got {t}");
+    }
+
+    #[test]
+    fn fifteen_ms_seek_claim_holds_for_full_stroke() {
+        // §6.2: "Such a transfer might take as long as 15 ms".
+        let d = disk();
+        let full = d.position_cost(d.capacity());
+        assert!(full >= SimDuration::from_millis(15));
+    }
+
+    #[test]
+    fn no_queueing_ignores_device_business() {
+        let mut d = disk();
+        let t1 = d.access(SimTime::ZERO, AccessKind::Read, 500 * MB, 4096);
+        // Issue another far request at the same instant: in the paper's
+        // model it is serviced as if the disk were idle.
+        let t2 = d.access(SimTime::ZERO, AccessKind::Read, 0, 4096);
+        assert!(t2 <= d.params().overhead + d.params().max_seek + d.params().avg_rotation
+            + d.transfer_time(4096));
+        let _ = t1;
+    }
+
+    #[test]
+    fn queueing_serializes_simultaneous_requests() {
+        let mut d = DiskModel::new("q", DiskParams::ymp_with_queueing());
+        let t1 = d.access(SimTime::ZERO, AccessKind::Read, 100 * MB, 65536);
+        let t2 = d.access(SimTime::ZERO, AccessKind::Read, 200 * MB, 65536);
+        assert!(t2 > t1, "second queued request must finish later");
+    }
+
+    #[test]
+    fn queueing_drains_when_idle() {
+        let mut d = DiskModel::new("q", DiskParams::ymp_with_queueing());
+        let t1 = d.access(SimTime::ZERO, AccessKind::Read, 0, 4096);
+        // Far in the future the queue is empty again.
+        let later = SimTime::from_secs(100);
+        let t2 = d.access(later, AccessKind::Read, 4096, 4096);
+        assert!(t2 <= t1 + d.params().max_seek, "idle disk should not queue");
+    }
+
+    #[test]
+    fn stats_track_requests() {
+        let mut d = disk();
+        d.access(SimTime::ZERO, AccessKind::Read, 0, 4096);
+        d.access(SimTime::ZERO, AccessKind::Write, 4096, 8192);
+        assert_eq!(d.stats().reads, 1);
+        assert_eq!(d.stats().writes, 1);
+        assert_eq!(d.stats().total_bytes(), 12288);
+        assert!(d.stats().busy > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn disk_suspends_processes() {
+        assert!(disk().suspends_process());
+    }
+
+    #[test]
+    fn zero_length_transfer_is_free_but_not_negative() {
+        let d = disk();
+        assert_eq!(d.transfer_time(0), SimDuration::ZERO);
+    }
+}

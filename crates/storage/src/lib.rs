@@ -1,0 +1,28 @@
+//! Storage device models for the Cray Y-MP era I/O system the paper
+//! simulates against (§2.2, §6.1, §6.3).
+//!
+//! Three devices:
+//!
+//! * [`DiskModel`] — a 9.6 MB/s disk whose access time depends only on the
+//!   request's distance from the previous request, exactly the
+//!   simplification the paper used ("the completion time of a specific I/O
+//!   was dependent only on the location of the I/O and how 'close' the I/O
+//!   was to the previous I/O"). An optional queueing mode models the
+//!   queueing delay the paper acknowledged omitting.
+//! * [`SsdModel`] — the solid-state disk: zero seek, ~1 µs per KB
+//!   transferred (1 GB/s) plus a fixed setup overhead.
+//! * [`TapeModel`] — the Mass Storage System's nearline tape: a large mount
+//!   penalty, then streaming; used by the storage-hierarchy example.
+//!
+//! All devices implement [`BlockDevice`], the interface the buffering
+//! simulator drives.
+
+pub mod device;
+pub mod disk;
+pub mod ssd;
+pub mod tape;
+
+pub use device::{AccessKind, BlockDevice, DeviceStats};
+pub use disk::{DiskModel, DiskParams};
+pub use ssd::{SsdModel, SsdParams};
+pub use tape::{TapeModel, TapeParams};

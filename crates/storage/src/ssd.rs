@@ -1,0 +1,160 @@
+//! The solid-state disk model.
+//!
+//! §6.3: "To simulate the SSD on the Cray Y-MP, we treated it as a huge
+//! main-memory cache, and added per-block penalties for cache hits. These
+//! were approximately 1 µs per kilobyte transferred (at 1 GB/sec), with
+//! some additional overhead to set up the transfer. These times were
+//! relatively small compared to the time required to execute a system
+//! call."
+//!
+//! §3 (bvi): "I/Os to and from the SSD are done without suspending the
+//! process requesting the I/O, because the data is retrieved quickly" —
+//! hence [`BlockDevice::suspends_process`] is `false` for the SSD.
+
+use crate::device::{AccessKind, BlockDevice, DeviceStats};
+use serde::{Deserialize, Serialize};
+use sim_core::units::GB;
+use sim_core::{SimDuration, SimTime};
+
+/// Tunable SSD parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SsdParams {
+    /// Capacity in bytes (the NASA machine's per-CPU share is 32 MW =
+    /// 256 MB of the 256 MW device).
+    pub capacity: u64,
+    /// Transfer rate in GB/s (the paper's 1 GB/s → 1 µs per KB).
+    pub transfer_gb_per_sec: f64,
+    /// Fixed per-request setup overhead.
+    pub setup: SimDuration,
+}
+
+impl Default for SsdParams {
+    fn default() -> Self {
+        SsdParams {
+            capacity: sim_core::units::YMP_SSD_PER_CPU_BYTES,
+            transfer_gb_per_sec: sim_core::units::SSD_GB_PER_SEC,
+            setup: SimDuration::from_micros(20),
+        }
+    }
+}
+
+impl SsdParams {
+    /// The per-processor share of the NASA Ames SSD.
+    pub fn ymp_per_cpu() -> Self {
+        Self::default()
+    }
+}
+
+/// The SSD device.
+#[derive(Debug, Clone)]
+pub struct SsdModel {
+    params: SsdParams,
+    name: String,
+    stats: DeviceStats,
+}
+
+impl SsdModel {
+    /// An SSD with the given parameters.
+    pub fn new(name: impl Into<String>, params: SsdParams) -> Self {
+        SsdModel { params, name: name.into(), stats: DeviceStats::default() }
+    }
+
+    /// The paper's per-CPU SSD share.
+    pub fn ymp() -> Self {
+        SsdModel::new("ymp-ssd", SsdParams::ymp_per_cpu())
+    }
+
+    /// Parameters in use.
+    pub fn params(&self) -> &SsdParams {
+        &self.params
+    }
+
+    /// Pure transfer time: 1 µs per KB at 1 GB/s.
+    pub fn transfer_time(&self, length: u64) -> SimDuration {
+        let secs = length as f64 / (self.params.transfer_gb_per_sec * GB as f64);
+        SimDuration::from_secs_f64(secs)
+    }
+}
+
+impl BlockDevice for SsdModel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn capacity(&self) -> u64 {
+        self.params.capacity
+    }
+
+    fn access(
+        &mut self,
+        _now: SimTime,
+        kind: AccessKind,
+        _offset: u64,
+        length: u64,
+    ) -> SimDuration {
+        let service = self.params.setup + self.transfer_time(length);
+        self.stats.note(kind, length, service);
+        service
+    }
+
+    fn suspends_process(&self) -> bool {
+        false
+    }
+
+    fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::units::{KB, MB};
+
+    #[test]
+    fn one_microsecond_per_kilobyte() {
+        let s = SsdModel::ymp();
+        // 100 KB ≈ 100 µs (within tick rounding: 10 ticks).
+        let t = s.transfer_time(100 * KB);
+        assert_eq!(t.ticks(), 10);
+    }
+
+    #[test]
+    fn access_is_position_independent() {
+        let mut s = SsdModel::ymp();
+        let a = s.access(SimTime::ZERO, AccessKind::Read, 0, 64 * KB);
+        let b = s.access(SimTime::ZERO, AccessKind::Read, 200 * MB, 64 * KB);
+        assert_eq!(a, b, "SSD has no positional cost");
+    }
+
+    #[test]
+    fn ssd_does_not_suspend_process() {
+        assert!(!SsdModel::ymp().suspends_process());
+    }
+
+    #[test]
+    fn ssd_is_far_faster_than_disk_for_small_io() {
+        use crate::disk::DiskModel;
+        let mut ssd = SsdModel::ymp();
+        let mut disk = DiskModel::ymp();
+        let ssd_t = ssd.access(SimTime::ZERO, AccessKind::Read, 123 * MB, 16 * KB);
+        let disk_t = disk.access(SimTime::ZERO, AccessKind::Read, 123 * MB, 16 * KB);
+        assert!(
+            disk_t.ticks() > 20 * ssd_t.ticks().max(1),
+            "disk {disk_t} vs ssd {ssd_t}"
+        );
+    }
+
+    #[test]
+    fn capacity_matches_per_cpu_share() {
+        assert_eq!(SsdModel::ymp().capacity(), 256 * MB);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = SsdModel::ymp();
+        s.access(SimTime::ZERO, AccessKind::Write, 0, 1024);
+        assert_eq!(s.stats().writes, 1);
+        assert_eq!(s.stats().bytes_written, 1024);
+    }
+}

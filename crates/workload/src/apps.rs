@@ -1,0 +1,420 @@
+//! The seven traced applications, calibrated to Tables 1–2.
+//!
+//! Calibration policy (DESIGN.md §4): Table 1's totals (CPU time, data-set
+//! size, total I/O, number of I/Os) are authoritative; Table 2 contributes
+//! the read/write *splits* (data ratio and request-rate ratio). Where the
+//! scanned tables disagree, the self-consistent reconstruction documented
+//! in DESIGN.md wins. Request sizes follow as bytes/count per direction.
+
+use crate::spec::{AppSpec, CycleDef, FileDef, LatencyModel, SweepOrder};
+use iotrace::Synchrony;
+use serde::{Deserialize, Serialize};
+use sim_core::units::MB;
+use sim_core::SimDuration;
+
+/// The seven applications of §3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AppKind {
+    /// Blade-vortex interaction CFD; designed for the SSD; many small I/Os.
+    Bvi,
+    /// Community Climate Model; intermediate memory/I/O tradeoff.
+    Ccm,
+    /// Sparse-matrix structural dynamics; highest I/O rate, R/W ≈ 11.
+    Forma,
+    /// Global Climate Model; in-memory, compulsory I/O only.
+    Gcm,
+    /// Large-eddy simulation; the only explicitly asynchronous program.
+    Les,
+    /// Venus atmosphere model; tiny memory, six interleaved staging files.
+    Venus,
+    /// Approximate polynomial factorization; a few large compulsory I/Os.
+    Upw,
+}
+
+/// All seven, in the paper's table order.
+pub const ALL_APPS: [AppKind; 7] = [
+    AppKind::Bvi,
+    AppKind::Ccm,
+    AppKind::Forma,
+    AppKind::Gcm,
+    AppKind::Les,
+    AppKind::Venus,
+    AppKind::Upw,
+];
+
+impl AppKind {
+    /// The program's name as the paper spells it.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppKind::Bvi => "bvi",
+            AppKind::Ccm => "ccm",
+            AppKind::Forma => "forma",
+            AppKind::Gcm => "gcm",
+            AppKind::Les => "les",
+            AppKind::Venus => "venus",
+            AppKind::Upw => "upw",
+        }
+    }
+
+    /// Parse a paper-style name.
+    pub fn from_name(name: &str) -> Option<AppKind> {
+        ALL_APPS.into_iter().find(|a| a.name() == name)
+    }
+
+    /// Build the calibrated [`AppSpec`] for this application with the
+    /// given trace process id.
+    pub fn spec(self, pid: u32) -> AppSpec {
+        spec_for(self, pid)
+    }
+}
+
+/// The paper's published per-application numbers (reconstructed), used to
+/// verify generated traces and to print the "paper" columns of
+/// EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PaperTargets {
+    /// Running (CPU) time, seconds — Table 1.
+    pub cpu_secs: f64,
+    /// Total data-set size, MB — Table 1.
+    pub data_mb: f64,
+    /// Total I/O done, MB — Table 1.
+    pub total_io_mb: f64,
+    /// Number of I/Os — Table 1.
+    pub num_ios: u64,
+    /// Read/write data ratio — Table 2.
+    pub rw_data_ratio: f64,
+    /// Read:write request-count ratio — Table 2 (IOs/sec columns).
+    pub rw_count_ratio: f64,
+    /// Derived MB per CPU second.
+    pub mb_per_sec: f64,
+    /// Derived I/Os per CPU second.
+    pub ios_per_sec: f64,
+    /// Derived average request size, KB.
+    pub avg_io_kb: f64,
+}
+
+impl PaperTargets {
+    fn new(cpu_secs: f64, data_mb: f64, total_io_mb: f64, num_ios: u64, rw_data_ratio: f64, rw_count_ratio: f64) -> Self {
+        PaperTargets {
+            cpu_secs,
+            data_mb,
+            total_io_mb,
+            num_ios,
+            rw_data_ratio,
+            rw_count_ratio,
+            mb_per_sec: total_io_mb / cpu_secs,
+            ios_per_sec: num_ios as f64 / cpu_secs,
+            avg_io_kb: total_io_mb * 1024.0 / num_ios as f64,
+        }
+    }
+
+    /// Bytes read over the run.
+    pub fn read_bytes(&self) -> u64 {
+        let mb = self.total_io_mb * self.rw_data_ratio / (1.0 + self.rw_data_ratio);
+        (mb * MB as f64) as u64
+    }
+
+    /// Bytes written over the run.
+    pub fn write_bytes(&self) -> u64 {
+        (self.total_io_mb * MB as f64) as u64 - self.read_bytes()
+    }
+
+    /// Read request count.
+    pub fn read_count(&self) -> u64 {
+        let c = self.num_ios as f64 * self.rw_count_ratio / (1.0 + self.rw_count_ratio);
+        c.round() as u64
+    }
+
+    /// Write request count.
+    pub fn write_count(&self) -> u64 {
+        self.num_ios - self.read_count()
+    }
+}
+
+/// The reconstructed Tables 1–2 for `kind` (see DESIGN.md §4 for the OCR
+/// notes).
+pub fn paper_targets(kind: AppKind) -> PaperTargets {
+    match kind {
+        AppKind::Bvi => PaperTargets::new(128.0, 171.0, 2330.0, 140_416, 2.31, 913.0 / 185.0),
+        AppKind::Ccm => PaperTargets::new(205.0, 11.6, 1804.0, 54_125, 1.07, 135.0 / 128.0),
+        AppKind::Forma => PaperTargets::new(206.0, 30.0, 15_155.0, 475_826, 11.0, 1990.0 / 300.0),
+        AppKind::Gcm => PaperTargets::new(1897.0, 229.0, 266.2, 7_953, 0.089, 0.34 / 3.85),
+        AppKind::Les => PaperTargets::new(146.0, 224.0, 7_803.0, 22_384, 0.95, 74.0 / 81.0),
+        // venus: equal-size requests, so the count ratio equals the data
+        // ratio (Table 2's venus row is OCR-damaged; see DESIGN.md).
+        AppKind::Venus => PaperTargets::new(379.0, 55.2, 16_712.0, 34_904, 1.80, 1.80),
+        AppKind::Upw => PaperTargets::new(596.0, 61.5, 61.5, 140, 0.12, 0.12),
+    }
+}
+
+/// Iteration counts chosen to match the burst spacing visible in
+/// Figures 3–4 (venus ≈ 4 s cycles, les ≈ 5 s cycles) and the text's
+/// qualitative descriptions for the rest.
+fn cycle_count(kind: AppKind) -> u32 {
+    match kind {
+        AppKind::Bvi => 32,
+        AppKind::Ccm => 50,
+        AppKind::Forma => 42,
+        AppKind::Les => 29,
+        AppKind::Venus => 95,
+        AppKind::Gcm | AppKind::Upw => 0,
+    }
+}
+
+fn files_for(kind: AppKind) -> Vec<FileDef> {
+    let mb = |x: f64| (x * MB as f64) as u64;
+    match kind {
+        AppKind::Bvi => vec![
+            FileDef::new(1, mb(85.5), "/ssd/bvi/grid"),
+            FileDef::new(2, mb(85.5), "/ssd/bvi/solution"),
+        ],
+        AppKind::Ccm => vec![
+            FileDef::new(1, mb(5.8), "/scratch/ccm/history"),
+            FileDef::new(2, mb(5.8), "/scratch/ccm/restart"),
+        ],
+        AppKind::Forma => vec![FileDef::new(1, mb(30.0), "/scratch/forma/matrix")],
+        AppKind::Gcm => vec![
+            FileDef::new(1, mb(21.8), "/scratch/gcm/initial"),
+            FileDef::new(2, mb(207.2), "/scratch/gcm/results"),
+        ],
+        AppKind::Les => vec![
+            FileDef::new(1, mb(112.0), "/scratch/les/field0"),
+            FileDef::new(2, mb(112.0), "/scratch/les/field1"),
+        ],
+        AppKind::Venus => (0..6)
+            .map(|i| FileDef::new(i + 1, mb(9.2), format!("/scratch/venus/atm{i}")))
+            .collect(),
+        AppKind::Upw => vec![
+            FileDef::new(1, mb(6.6), "/scratch/upw/input"),
+            FileDef::new(2, mb(54.9), "/scratch/upw/output"),
+        ],
+    }
+}
+
+fn spec_for(kind: AppKind, pid: u32) -> AppSpec {
+    let t = paper_targets(kind);
+    let files = files_for(kind);
+    let cycles = cycle_count(kind);
+    let read_io = (t.read_bytes() / t.read_count().max(1)).max(1);
+    let write_io = (t.write_bytes() / t.write_count().max(1)).max(1);
+    let (order, sweep_cpu_frac) = match kind {
+        AppKind::Venus => (SweepOrder::Interleaved, 0.5),
+        AppKind::Forma => (SweepOrder::Sequential, 0.6),
+        AppKind::Les => (SweepOrder::Sequential, 0.55),
+        _ => (SweepOrder::Sequential, 0.5),
+    };
+    let sync = if kind == AppKind::Les { Synchrony::Async } else { Synchrony::Sync };
+    let latency = if kind == AppKind::Bvi { LatencyModel::Ssd } else { LatencyModel::ymp_disk() };
+
+    let (init_read, final_write, cycle) = if cycles == 0 {
+        (
+            (t.read_bytes(), read_io, files[0].id),
+            (t.write_bytes(), write_io, files[1].id),
+            CycleDef {
+                read_bytes: 0,
+                write_bytes: 0,
+                read_io: 1,
+                write_io: 1,
+                order,
+                interleave_run: 4,
+                sweep_cpu_frac,
+            },
+        )
+    } else {
+        (
+            (0, 1, files[0].id),
+            (0, 1, files[0].id),
+            CycleDef {
+                read_bytes: t.read_bytes() / cycles as u64,
+                write_bytes: t.write_bytes() / cycles as u64,
+                read_io,
+                // Equal-size requests under interleaving: §5.2's constant
+                // request size (and Table 1's single venus average).
+                write_io: if order == SweepOrder::Interleaved { read_io } else { write_io },
+                order,
+                interleave_run: 4,
+                sweep_cpu_frac,
+            },
+        )
+    };
+
+    AppSpec {
+        name: kind.name().to_string(),
+        pid,
+        files,
+        cpu_time: SimDuration::from_secs_f64(t.cpu_secs),
+        init_read,
+        final_write,
+        cycles,
+        cycle,
+        checkpoint: None,
+        sync,
+        latency,
+        compute_jitter: 0.05,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use iotrace::Direction;
+
+    /// Relative error helper.
+    fn rel(actual: f64, target: f64) -> f64 {
+        if target == 0.0 {
+            actual.abs()
+        } else {
+            (actual - target).abs() / target
+        }
+    }
+
+    #[test]
+    fn every_app_builds_a_valid_spec() {
+        for kind in ALL_APPS {
+            let spec = kind.spec(1);
+            spec.validate();
+            assert_eq!(spec.name, kind.name());
+        }
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for kind in ALL_APPS {
+            assert_eq!(AppKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(AppKind::from_name("nonesuch"), None);
+    }
+
+    #[test]
+    fn generated_totals_match_table1_within_tolerance() {
+        for kind in ALL_APPS {
+            let t = paper_targets(kind);
+            let trace = generate(&kind.spec(1), 11);
+            let total_mb = trace.total_bytes() as f64 / MB as f64;
+            let n = trace.io_count() as f64;
+            let cpu: f64 = trace
+                .events()
+                .map(|e| e.process_time.as_secs_f64())
+                .sum();
+            assert!(
+                rel(total_mb, t.total_io_mb) < 0.03,
+                "{}: total {total_mb:.1} MB vs {:.1}",
+                kind.name(),
+                t.total_io_mb
+            );
+            assert!(
+                rel(n, t.num_ios as f64) < 0.05,
+                "{}: {n} I/Os vs {}",
+                kind.name(),
+                t.num_ios
+            );
+            assert!(
+                rel(cpu, t.cpu_secs) < 0.05,
+                "{}: cpu {cpu:.1}s vs {:.1}",
+                kind.name(),
+                t.cpu_secs
+            );
+        }
+    }
+
+    #[test]
+    fn read_write_split_matches_table2() {
+        for kind in ALL_APPS {
+            let t = paper_targets(kind);
+            let trace = generate(&kind.spec(1), 13);
+            let read: u64 =
+                trace.events().filter(|e| e.dir == Direction::Read).map(|e| e.length).sum();
+            let written: u64 =
+                trace.events().filter(|e| e.dir == Direction::Write).map(|e| e.length).sum();
+            let ratio = read as f64 / written.max(1) as f64;
+            assert!(
+                rel(ratio, t.rw_data_ratio) < 0.08,
+                "{}: R/W {ratio:.3} vs {:.3}",
+                kind.name(),
+                t.rw_data_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn data_set_sizes_match_table1() {
+        for kind in ALL_APPS {
+            let t = paper_targets(kind);
+            let spec = kind.spec(1);
+            let data_mb = spec.data_size() as f64 / MB as f64;
+            assert!(
+                rel(data_mb, t.data_mb) < 0.01,
+                "{}: data {data_mb:.1} vs {:.1}",
+                kind.name(),
+                t.data_mb
+            );
+        }
+    }
+
+    #[test]
+    fn les_is_async_everyone_else_sync() {
+        for kind in ALL_APPS {
+            let spec = kind.spec(1);
+            let trace = generate(&spec, 17);
+            let async_count =
+                trace.events().filter(|e| e.sync == iotrace::Synchrony::Async).count();
+            if kind == AppKind::Les {
+                assert_eq!(async_count, trace.io_count(), "les is fully async");
+            } else {
+                assert_eq!(async_count, 0, "{} must be sync", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn gcm_and_upw_are_compulsory_only() {
+        for kind in [AppKind::Gcm, AppKind::Upw] {
+            let trace = generate(&kind.spec(1), 19);
+            let events: Vec<_> = trace.events().cloned().collect();
+            // All reads precede all writes: required-I/O pattern (§5.1).
+            let last_read =
+                events.iter().rposition(|e| e.dir == Direction::Read).unwrap();
+            let first_write =
+                events.iter().position(|e| e.dir == Direction::Write).unwrap();
+            assert!(last_read < first_write, "{}: reads must precede writes", kind.name());
+        }
+    }
+
+    #[test]
+    fn venus_interleaves_six_files() {
+        let trace = generate(&AppKind::Venus.spec(1), 23);
+        let mut seen = std::collections::HashSet::new();
+        for e in trace.events().take(50) {
+            seen.insert(e.file_id);
+        }
+        assert!(seen.len() >= 5, "venus should rotate its files early: {seen:?}");
+    }
+
+    #[test]
+    fn bvi_uses_small_requests_on_ssd_latency() {
+        let spec = AppKind::Bvi.spec(1);
+        let trace = generate(&spec, 29);
+        let avg = trace.total_bytes() as f64 / trace.io_count() as f64 / 1024.0;
+        assert!(avg < 32.0, "bvi average request {avg:.1} KB should be small");
+        // SSD latency: completions far below disk-class 12 ms.
+        let mean_completion: f64 = trace
+            .events()
+            .map(|e| e.completion.as_secs_f64())
+            .sum::<f64>()
+            / trace.io_count() as f64;
+        assert!(mean_completion < 0.001, "bvi completions {mean_completion}s should be SSD-fast");
+    }
+
+    #[test]
+    fn forma_rereads_its_matrix() {
+        let t = paper_targets(AppKind::Forma);
+        // Per-cycle reads exceed the data-set size: multiple passes.
+        let spec = AppKind::Forma.spec(1);
+        assert!(
+            spec.cycle.read_bytes > spec.data_size(),
+            "forma must re-read its array each cycle"
+        );
+        assert!(t.rw_data_ratio > 10.0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Declarative application descriptions.
+//!
+//! An [`AppSpec`] captures everything the paper's §3/§5 descriptions fix
+//! about a program: its data files, its compulsory (required) I/O at start
+//! and end, its iterative data-swapping cycles, optional checkpoints, the
+//! constancy of its request sizes, how much CPU it burns, and whether its
+//! I/O is synchronous (every app but les) or asynchronous (les).
+
+use iotrace::Synchrony;
+use serde::{Deserialize, Serialize};
+use sim_core::units::MB;
+use sim_core::SimDuration;
+
+/// One data file in the application's working set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FileDef {
+    /// Trace file id (unique per open; our apps open each file once).
+    pub id: u32,
+    /// File size in bytes.
+    pub size: u64,
+    /// Human-readable name, recorded as a trace comment (the paper used
+    /// comment records for exactly this).
+    pub name: String,
+}
+
+impl FileDef {
+    /// Convenience constructor.
+    pub fn new(id: u32, size: u64, name: impl Into<String>) -> FileDef {
+        FileDef { id, size, name: name.into() }
+    }
+}
+
+/// How a cycle's I/O sweep walks the data files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SweepOrder {
+    /// Finish one file before moving to the next (les, forma, ccm, bvi).
+    Sequential,
+    /// Rotate across files request by request, and interleave reads with
+    /// writes — venus's signature pattern ("interleaving accesses to six
+    /// different data files", §6.2).
+    Interleaved,
+}
+
+/// The iterative heart of an application (§5.3): each cycle reads a fixed
+/// amount, writes a fixed amount, and computes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CycleDef {
+    /// Bytes read per cycle (may exceed the data-set size: forma re-reads
+    /// each block ~11× per cycle; cursors wrap).
+    pub read_bytes: u64,
+    /// Bytes written per cycle.
+    pub write_bytes: u64,
+    /// Read request size (constant within a program, §5.2).
+    pub read_io: u64,
+    /// Write request size.
+    pub write_io: u64,
+    /// Sweep order over files.
+    pub order: SweepOrder,
+    /// For [`SweepOrder::Interleaved`]: how many consecutive chunks are
+    /// issued against one file before rotating to the next. Runs keep
+    /// per-file streams "highly sequential" (§5.2) while still
+    /// interleaving across files the way venus did. Ignored for
+    /// sequential sweeps.
+    pub interleave_run: u32,
+    /// Fraction of the cycle's CPU time spent *inside* the I/O sweep
+    /// (processing each staged chunk); the rest forms pure-compute gaps.
+    /// Controls the peak-to-mean ratio of the Figure 3/4 rate series.
+    pub sweep_cpu_frac: f64,
+}
+
+/// Periodic checkpoint state dumps (§5.1, second I/O type).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CheckpointDef {
+    /// Bytes of state saved per checkpoint.
+    pub bytes: u64,
+    /// Request size used for checkpoint writes.
+    pub io_size: u64,
+    /// A checkpoint is taken after every `every_cycles` cycles.
+    pub every_cycles: u32,
+    /// File id receiving the checkpoints.
+    pub file_id: u32,
+}
+
+/// Nominal device latency used to fill the trace's completion-time field
+/// (the simulator re-times everything; this only matters for trace
+/// realism and the analysis of completion times).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Fixed overhead plus streaming at the given MB/s — a disk.
+    Disk {
+        /// Positioning + scheduling overhead per request.
+        overhead: SimDuration,
+        /// Transfer rate in MB/s.
+        mb_per_sec: f64,
+    },
+    /// The SSD: tiny overhead plus ~1 GB/s streaming (bvi's world).
+    Ssd,
+}
+
+impl LatencyModel {
+    /// The Y-MP disk with average positioning (§6.2's 15 ms worst case,
+    /// ~12 ms typical including rotation).
+    pub fn ymp_disk() -> LatencyModel {
+        LatencyModel::Disk {
+            overhead: SimDuration::from_millis(12),
+            mb_per_sec: sim_core::units::YMP_DISK_MB_PER_SEC,
+        }
+    }
+
+    /// Completion time for a request of `bytes`.
+    pub fn completion(&self, bytes: u64) -> SimDuration {
+        match *self {
+            LatencyModel::Disk { overhead, mb_per_sec } => {
+                overhead + SimDuration::from_secs_f64(bytes as f64 / (mb_per_sec * MB as f64))
+            }
+            LatencyModel::Ssd => {
+                SimDuration::from_micros(20)
+                    + SimDuration::from_secs_f64(
+                        bytes as f64 / (sim_core::units::SSD_GB_PER_SEC * sim_core::units::GB as f64),
+                    )
+            }
+        }
+    }
+}
+
+/// A complete application description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppSpec {
+    /// Program name (e.g. "venus").
+    pub name: String,
+    /// Process id used in the trace.
+    pub pid: u32,
+    /// Data files (cycled over by sweeps).
+    pub files: Vec<FileDef>,
+    /// Total CPU time the program consumes.
+    pub cpu_time: SimDuration,
+    /// Compulsory read at startup: (bytes, io size, file id). Zero bytes
+    /// disables it.
+    pub init_read: (u64, u64, u32),
+    /// Compulsory write at completion: (bytes, io size, file id).
+    pub final_write: (u64, u64, u32),
+    /// Number of iterations; zero for compulsory-only programs (gcm, upw).
+    pub cycles: u32,
+    /// Per-cycle behavior (ignored when `cycles == 0`).
+    pub cycle: CycleDef,
+    /// Optional checkpointing.
+    pub checkpoint: Option<CheckpointDef>,
+    /// Synchronous for every traced app except les.
+    pub sync: Synchrony,
+    /// Completion-time fill model.
+    pub latency: LatencyModel,
+    /// Multiplicative jitter applied to compute gaps (keeps two copies of
+    /// one app from running in artificial lockstep without disturbing the
+    /// calibrated totals; the paper's bunching emerges anyway).
+    pub compute_jitter: f64,
+}
+
+impl AppSpec {
+    /// Total bytes this spec will read over a full run.
+    pub fn planned_read_bytes(&self) -> u64 {
+        self.init_read.0 + self.cycles as u64 * self.cycle.read_bytes
+    }
+
+    /// Total bytes this spec will write over a full run.
+    pub fn planned_write_bytes(&self) -> u64 {
+        let ckpt = self.checkpoint.as_ref().map_or(0, |c| {
+            self.cycles
+                .checked_div(c.every_cycles)
+                .map_or(0, |dumps| dumps as u64 * c.bytes)
+        });
+        self.final_write.0 + self.cycles as u64 * self.cycle.write_bytes + ckpt
+    }
+
+    /// Total data-set size (sum of file sizes), the paper's "total data
+    /// size" column.
+    pub fn data_size(&self) -> u64 {
+        self.files.iter().map(|f| f.size).sum()
+    }
+
+    /// Sanity checks on the spec; panics on nonsense.
+    pub fn validate(&self) {
+        assert!(!self.files.is_empty(), "app needs at least one file");
+        assert!(!self.cpu_time.is_zero(), "app needs CPU time");
+        if self.cycles > 0 {
+            assert!(self.cycle.read_io > 0 && self.cycle.write_io > 0);
+            if self.cycle.order == SweepOrder::Interleaved {
+                assert!(self.cycle.interleave_run >= 1, "interleaved sweeps need a run length");
+            }
+            assert!(
+                (0.0..=1.0).contains(&self.cycle.sweep_cpu_frac),
+                "sweep_cpu_frac must be a fraction"
+            );
+        }
+        if self.init_read.0 > 0 {
+            assert!(self.init_read.1 > 0, "init read needs an io size");
+        }
+        if self.final_write.0 > 0 {
+            assert!(self.final_write.1 > 0, "final write needs an io size");
+        }
+        assert!((0.0..=1.0).contains(&self.compute_jitter));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::units::KB;
+
+    fn spec() -> AppSpec {
+        AppSpec {
+            name: "toy".into(),
+            pid: 1,
+            files: vec![FileDef::new(1, 10 * MB, "data")],
+            cpu_time: SimDuration::from_secs(10),
+            init_read: (MB, 64 * KB, 1),
+            final_write: (2 * MB, 64 * KB, 1),
+            cycles: 5,
+            cycle: CycleDef {
+                read_bytes: 4 * MB,
+                write_bytes: 2 * MB,
+                read_io: 256 * KB,
+                write_io: 256 * KB,
+                order: SweepOrder::Sequential,
+                interleave_run: 4,
+                sweep_cpu_frac: 0.5,
+            },
+            checkpoint: Some(CheckpointDef {
+                bytes: MB,
+                io_size: 512 * KB,
+                every_cycles: 2,
+                file_id: 99,
+            }),
+            sync: Synchrony::Sync,
+            latency: LatencyModel::ymp_disk(),
+            compute_jitter: 0.05,
+        }
+    }
+
+    #[test]
+    fn planned_totals_add_up() {
+        let s = spec();
+        assert_eq!(s.planned_read_bytes(), MB + 5 * 4 * MB);
+        // final 2 MB + 5 cycles × 2 MB + 2 checkpoints × 1 MB
+        assert_eq!(s.planned_write_bytes(), 2 * MB + 10 * MB + 2 * MB);
+        assert_eq!(s.data_size(), 10 * MB);
+        s.validate();
+    }
+
+    #[test]
+    fn latency_models_scale_with_size() {
+        let disk = LatencyModel::ymp_disk();
+        assert!(disk.completion(MB) > disk.completion(4 * KB));
+        let ssd = LatencyModel::Ssd;
+        assert!(ssd.completion(MB) < disk.completion(4 * KB), "SSD beats disk");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one file")]
+    fn empty_files_rejected() {
+        let mut s = spec();
+        s.files.clear();
+        s.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep_cpu_frac")]
+    fn bad_sweep_frac_rejected() {
+        let mut s = spec();
+        s.cycle.sweep_cpu_frac = 1.5;
+        s.validate();
+    }
+}

@@ -1,0 +1,50 @@
+//! Characterize all seven traced applications (a live rendering of
+//! Tables 1–2 plus the §5 sequentiality/cycle/taxonomy analysis).
+//!
+//! ```text
+//! cargo run --release --example characterize_all [-- --full]
+//! ```
+//!
+//! By default runs at 1/8 scale; `--full` uses the paper's run lengths.
+
+use miller_core::render::{num, pct, TextTable};
+use miller_core::{paper_targets, AppKind, IoClass, Study, ALL_APPS};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let scale = if full { 1 } else { 8 };
+
+    let mut table = TextTable::new(&[
+        "app", "MB/s (paper)", "IOs/s (paper)", "R/W (paper)", "seq", "same-size", "cycle(s)",
+        "swap%", "ckpt%", "req%",
+    ]);
+    for kind in ALL_APPS {
+        let c = Study::app(kind).seed(42).scale(scale).characterize();
+        let p = paper_targets(kind);
+        table.row(vec![
+            kind.name().to_string(),
+            format!("{} ({})", num(c.summary.mb_per_sec), num(p.mb_per_sec)),
+            format!("{} ({})", num(c.summary.ios_per_sec), num(p.ios_per_sec)),
+            format!("{} ({})", num(c.summary.rw_data_ratio), num(p.rw_data_ratio)),
+            pct(c.sequentiality.sequential_fraction()),
+            pct(c.sequentiality.same_size_fraction()),
+            c.cycles
+                .period_bins
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "-".to_string()),
+            pct(c.classes.fraction_of(IoClass::DataSwap)),
+            pct(c.classes.fraction_of(IoClass::Checkpoint)),
+            pct(c.classes.fraction_of(IoClass::Required)),
+        ]);
+    }
+    println!(
+        "Per-application I/O characterization at 1/{scale} scale (paper values in parens)\n{}",
+        table.render()
+    );
+    println!(
+        "Note the §5.1 taxonomy: gcm and upw are pure required I/O; the\n\
+         staging applications (venus, les, forma, ccm, bvi) are dominated by\n\
+         data swapping, which is why their I/O recurs every cycle."
+    );
+    let _ = AppKind::Venus;
+}

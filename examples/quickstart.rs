@@ -1,0 +1,58 @@
+//! Quickstart: characterize one application and run one buffering
+//! simulation.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use miller_core::{AppKind, CampaignBuilder, Study};
+
+fn main() {
+    // 1. Characterize venus the way §5 of the paper does.
+    //    (scale(4) shortens the run 4x while preserving every rate.)
+    let c = Study::app(AppKind::Venus).seed(42).scale(4).characterize();
+    println!("== venus characterization ==");
+    println!(
+        "cpu {:.1}s | {:.1} MB/s | {:.0} IOs/s | avg request {:.0} KB | R/W {:.2}",
+        c.summary.cpu_secs,
+        c.summary.mb_per_sec,
+        c.summary.ios_per_sec,
+        c.summary.avg_io_kb,
+        c.summary.rw_data_ratio
+    );
+    println!(
+        "sequential {:.0}% | same-size {:.0}% | demand peak/mean {:.1}",
+        c.sequentiality.sequential_fraction() * 100.0,
+        c.sequentiality.same_size_fraction() * 100.0,
+        c.burstiness.peak_to_mean
+    );
+    if let Some(period) = c.cycles.period_bins {
+        println!(
+            "dominant I/O cycle: {period} s (autocorrelation {:.2}, {} peaks)",
+            c.cycles.strength, c.cycles.peaks
+        );
+    }
+
+    // 2. Run the paper's flagship simulation: two venus copies sharing
+    //    one CPU behind a buffered cache with read-ahead + write-behind.
+    println!("\n== 2 x venus behind a 128 MB cache ==");
+    let report = CampaignBuilder::buffered_mb(128)
+        .app(AppKind::Venus)
+        .app(AppKind::Venus)
+        .seed(42)
+        .scale(4)
+        .run();
+    println!(
+        "wall {:.1}s | idle {:.1}s | utilization {:.1}% | cache hit ratio {:.1}%",
+        report.wall_secs(),
+        report.idle_secs(),
+        report.utilization() * 100.0,
+        report.cache.hit_ratio() * 100.0
+    );
+    println!(
+        "disk: {} reads / {} writes, {:.1} MB moved",
+        report.disk_totals.reads,
+        report.disk_totals.writes,
+        report.disk_totals.total_bytes() as f64 / (1024.0 * 1024.0)
+    );
+}

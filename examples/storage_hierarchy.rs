@@ -1,0 +1,60 @@
+//! The NASA Ames storage hierarchy (§2.2): main memory, SSD, disk farm,
+//! and the Mass Storage System's nearline tape — and why staging matters.
+//!
+//! ```text
+//! cargo run --release --example storage_hierarchy
+//! ```
+
+use miller_core::{BlockDevice, DiskModel, SsdModel, TapeModel};
+use sim_core::units::MB;
+use sim_core::SimTime;
+use storage_model::AccessKind;
+
+fn main() {
+    let mut ssd = SsdModel::ymp();
+    let mut disk = DiskModel::ymp();
+    let mut tape = TapeModel::mss();
+
+    println!("Latency to fetch a data slab from each tier (cold, then warm):\n");
+    println!("{:<12} {:>14} {:>14} {:>14}", "tier", "64 KB", "1 MB", "16 MB");
+
+    for (name, dev) in [
+        ("ssd", &mut ssd as &mut dyn BlockDevice),
+        ("disk", &mut disk as &mut dyn BlockDevice),
+        ("mss-tape", &mut tape as &mut dyn BlockDevice),
+    ] {
+        let mut cells = Vec::new();
+        for (i, size) in [64 * 1024u64, MB, 16 * MB].iter().enumerate() {
+            // Jump to a fresh region each time: worst-case positioning.
+            let t = dev.access(
+                SimTime::from_secs(i as u64),
+                AccessKind::Read,
+                (i as u64 + 1) * 100 * MB,
+                *size,
+            );
+            cells.push(format!("{:>12.3}ms", t.as_millis_f64()));
+        }
+        println!("{name:<12} {}", cells.join(" "));
+    }
+
+    println!("\nSequential streaming after positioning (per MB):");
+    let warm_disk = disk.access(SimTime::from_secs(10), AccessKind::Read, 300 * MB + 16 * MB, MB);
+    let warm_tape = tape.access(SimTime::from_secs(10), AccessKind::Read, 300 * MB + 16 * MB, MB);
+    let warm_ssd = ssd.access(SimTime::from_secs(10), AccessKind::Read, 0, MB);
+    println!(
+        "  ssd {:.2} ms | disk {:.1} ms | tape {:.1} ms",
+        warm_ssd.as_millis_f64(),
+        warm_disk.as_millis_f64(),
+        warm_tape.as_millis_f64()
+    );
+
+    println!(
+        "\nThe hierarchy's moral (§6.4): \"provide as much SSD storage as\n\
+         possible, and maintain a smaller main memory cache\" — the SSD\n\
+         streams at ~1 GB/s with zero positioning cost, the disks at\n\
+         9.6 MB/s with up to 15 ms seeks, and a cold tape access pays a\n\
+         {}-second robot mount before the first byte moves.",
+        tape.params().mount.as_secs_f64()
+    );
+    println!("tape mounts so far: {}", tape.mounts());
+}

@@ -1,0 +1,319 @@
+//! `mio` — command-line front end to the Miller-1991 reproduction.
+//!
+//! ```text
+//! mio apps                                   list the calibrated applications
+//! mio generate venus [--seed 42] [--scale 8] [-o venus.trace]
+//! mio analyze venus.trace                    §5-style characterization
+//! mio translate venus.trace [-o phys.trace]  logical -> physical expansion
+//! mio simulate a.trace b.trace [--cache 128|ssd|none]
+//!              [--policy behind|through|sprite] [--no-readahead] [--cpus 1]
+//! ```
+//!
+//! Traces are the paper's compressed ASCII format; `-` means stdout.
+
+use miller_core::{
+    analyze_sequentiality, classify_trace, detect_cycles, measure_amplification,
+    measure_compression, paper_targets, read_trace, translate_to_physical, write_trace, AppKind,
+    AppSummary, CacheConfig, CacheTier, FsConfig, FsLayout, IoClass, SimConfig, Simulation,
+    Trace, WritePolicy, ALL_APPS,
+};
+use sim_core::units::MB;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("mio: {msg}");
+            eprintln!("run `mio help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        None | Some("help") | Some("--help") => {
+            print!("{}", HELP);
+            Ok(())
+        }
+        Some("apps") => cmd_apps(),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("translate") => cmd_translate(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some(other) => Err(format!("unknown command `{other}`")),
+    }
+}
+
+const HELP: &str = "\
+mio — Miller 1991 supercomputer I/O reproduction
+
+USAGE:
+  mio apps
+  mio generate <app> [--seed N] [--scale K] [-o FILE]
+  mio analyze <FILE>
+  mio translate <FILE> [-o FILE]
+  mio simulate <FILE>... [--cache MB|ssd|none] [--policy behind|through|sprite]
+               [--no-readahead] [--cpus N]
+";
+
+/// Pull the value following `flag` out of `args`, if present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        if i + 1 >= args.len() {
+            return Err(format!("{flag} needs a value"));
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        Ok(Some(v))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Pull a bare switch out of `args`.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+fn cmd_apps() -> Result<(), String> {
+    println!("{:<7} {:>8} {:>9} {:>9} {:>7}", "app", "cpu(s)", "totIO(MB)", "MB/s", "R/W");
+    for kind in ALL_APPS {
+        let t = paper_targets(kind);
+        println!(
+            "{:<7} {:>8.0} {:>9.0} {:>9.2} {:>7.2}",
+            kind.name(),
+            t.cpu_secs,
+            t.total_io_mb,
+            t.mb_per_sec,
+            t.rw_data_ratio
+        );
+    }
+    Ok(())
+}
+
+fn cmd_generate(rest: &[String]) -> Result<(), String> {
+    let mut args = rest.to_vec();
+    let seed = take_flag(&mut args, "--seed")?
+        .map(|v| v.parse::<u64>().map_err(|_| "bad --seed".to_string()))
+        .transpose()?
+        .unwrap_or(42);
+    let scale = take_flag(&mut args, "--scale")?
+        .map(|v| v.parse::<u32>().map_err(|_| "bad --scale".to_string()))
+        .transpose()?
+        .unwrap_or(1);
+    let out = take_flag(&mut args, "-o")?;
+    let name = args.first().ok_or("generate needs an application name")?;
+    let kind = AppKind::from_name(name)
+        .ok_or_else(|| format!("unknown app `{name}` (try `mio apps`)"))?;
+    let trace = miller_core::app_trace(kind, 1, seed, miller_core::Scale(scale));
+    write_out(&trace, out.as_deref())?;
+    eprintln!(
+        "generated {}: {} records, {:.1} MB of I/O",
+        kind.name(),
+        trace.io_count(),
+        trace.total_bytes() as f64 / MB as f64
+    );
+    Ok(())
+}
+
+fn read_in(path: &str) -> Result<Trace, String> {
+    let f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    read_trace(BufReader::new(f)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn write_out(trace: &Trace, path: Option<&str>) -> Result<(), String> {
+    match path {
+        None | Some("-") => {
+            let stdout = std::io::stdout();
+            write_trace(trace, stdout.lock()).map_err(|e| e.to_string())
+        }
+        Some(p) => {
+            let f = std::fs::File::create(p).map_err(|e| format!("{p}: {e}"))?;
+            write_trace(trace, std::io::BufWriter::new(f)).map_err(|e| e.to_string())?;
+            eprintln!("wrote {p}");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_analyze(rest: &[String]) -> Result<(), String> {
+    let path = rest.first().ok_or("analyze needs a trace file")?;
+    let trace = read_in(path)?;
+    let s = AppSummary::from_trace(&trace);
+    println!(
+        "records {}  cpu {:.1}s  wall {:.1}s  data {:.1} MB  total I/O {:.1} MB",
+        s.num_ios, s.cpu_secs, s.wall_secs, s.data_mb, s.total_io_mb
+    );
+    println!(
+        "rates: {:.2} MB/s, {:.1} IOs/s  avg request {:.1} KB  R/W {:.2}  files {}",
+        s.mb_per_sec, s.ios_per_sec, s.avg_io_kb, s.rw_data_ratio, s.files_touched
+    );
+    let seq = analyze_sequentiality(&trace);
+    println!(
+        "sequential {:.1}%  same-size {:.1}%  modal-size {:.1}%",
+        seq.sequential_fraction() * 100.0,
+        seq.same_size_fraction() * 100.0,
+        seq.modal_size_fraction() * 100.0
+    );
+    let cycles = detect_cycles(&trace, sim_core::SimDuration::from_secs(1));
+    match cycles.period_bins {
+        Some(p) => println!(
+            "cycles: period {p}s (strength {:.2}), {} peaks, spacing CV {:.2}",
+            cycles.strength, cycles.peaks, cycles.peak_spacing_cv
+        ),
+        None => println!("cycles: none detected"),
+    }
+    let classes = classify_trace(&trace);
+    println!(
+        "taxonomy: required {:.1}%  checkpoint {:.1}%  data-swap {:.1}%",
+        classes.fraction_of(IoClass::Required) * 100.0,
+        classes.fraction_of(IoClass::Checkpoint) * 100.0,
+        classes.fraction_of(IoClass::DataSwap) * 100.0
+    );
+    let comp = measure_compression(&trace).map_err(|e| e.to_string())?;
+    println!(
+        "format: {:.1} bytes/record ({:.0}% smaller than fixed binary)",
+        comp.bytes_per_record(),
+        comp.savings_vs_binary() * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_translate(rest: &[String]) -> Result<(), String> {
+    let mut args = rest.to_vec();
+    let out = take_flag(&mut args, "-o")?;
+    let path = args.first().ok_or("translate needs a trace file")?;
+    let trace = read_in(path)?;
+    let mut layout = FsLayout::new(FsConfig::default());
+    let mixed = translate_to_physical(&trace, &mut layout);
+    let amp = measure_amplification(&mixed);
+    write_out(&mixed, out.as_deref())?;
+    eprintln!(
+        "translated: {} records ({:.3}x data amplification, {:.2}% metadata)",
+        mixed.io_count(),
+        amp.data_amplification(),
+        amp.metadata_fraction() * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_simulate(rest: &[String]) -> Result<(), String> {
+    let mut args = rest.to_vec();
+    let cache = take_flag(&mut args, "--cache")?.unwrap_or_else(|| "32".to_string());
+    let policy = take_flag(&mut args, "--policy")?.unwrap_or_else(|| "behind".to_string());
+    let cpus = take_flag(&mut args, "--cpus")?
+        .map(|v| v.parse::<usize>().map_err(|_| "bad --cpus".to_string()))
+        .transpose()?
+        .unwrap_or(1);
+    let no_ra = take_switch(&mut args, "--no-readahead");
+    if args.is_empty() {
+        return Err("simulate needs at least one trace file".into());
+    }
+
+    let mut config = match cache.as_str() {
+        "none" => SimConfig::uncached(),
+        "ssd" => SimConfig::ssd(),
+        mb => {
+            let mb: u64 = mb.parse().map_err(|_| "bad --cache (MB|ssd|none)".to_string())?;
+            SimConfig { cache: Some(CacheConfig::buffered(mb * MB)), ..Default::default() }
+        }
+    };
+    config.n_cpus = cpus;
+    if let Some(c) = config.cache.as_mut() {
+        c.read_ahead = !no_ra;
+        c.write_policy = match policy.as_str() {
+            "behind" => WritePolicy::WriteBehind,
+            "through" => WritePolicy::WriteThrough,
+            "sprite" => WritePolicy::sprite(),
+            other => return Err(format!("unknown --policy `{other}`")),
+        };
+    }
+    let tier = config.tier;
+    let mut sim = Simulation::new(config);
+    for (i, path) in args.iter().enumerate() {
+        let trace = read_in(path)?;
+        sim.add_process((i + 1) as u32, path.clone(), &trace);
+    }
+    let r = sim.run();
+    println!(
+        "wall {:.1}s  idle {:.1}s  utilization {:.1}%  ({} CPU{}, cache {}{})",
+        r.wall_secs(),
+        r.idle_secs(),
+        r.utilization() * 100.0,
+        r.n_cpus,
+        if r.n_cpus == 1 { "" } else { "s" },
+        cache,
+        if tier == CacheTier::Ssd { " [ssd tier]" } else { "" },
+    );
+    println!(
+        "cache: hit ratio {:.1}%  RA hits {}  dirty evictions {}",
+        r.cache.hit_ratio() * 100.0,
+        r.cache.readahead_hit_blocks,
+        r.cache.dirty_evictions
+    );
+    println!(
+        "disks: {} reads / {} writes, {:.1} MB total",
+        r.disk_totals.reads,
+        r.disk_totals.writes,
+        r.disk_totals.total_bytes() as f64 / MB as f64
+    );
+    for p in &r.processes {
+        println!(
+            "  {}: cpu {:.1}s  blocked {:.1}s  {} I/Os  finished at {:.1}s",
+            p.name,
+            p.cpu_used.as_secs_f64(),
+            p.blocked_time.as_secs_f64(),
+            p.ios_issued,
+            p.finished_at.as_secs_f64()
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn take_flag_extracts_value_and_removes_both_tokens() {
+        let mut args = argv("venus --seed 9 -o out.trace");
+        assert_eq!(take_flag(&mut args, "--seed").unwrap(), Some("9".into()));
+        assert_eq!(take_flag(&mut args, "-o").unwrap(), Some("out.trace".into()));
+        assert_eq!(args, argv("venus"));
+        assert_eq!(take_flag(&mut args, "--scale").unwrap(), None);
+    }
+
+    #[test]
+    fn take_flag_rejects_missing_value() {
+        let mut args = argv("venus --seed");
+        assert!(take_flag(&mut args, "--seed").is_err());
+    }
+
+    #[test]
+    fn take_switch_removes_token() {
+        let mut args = argv("a.trace --no-readahead --cache 16");
+        assert!(take_switch(&mut args, "--no-readahead"));
+        assert!(!take_switch(&mut args, "--no-readahead"));
+        assert_eq!(args, argv("a.trace --cache 16"));
+    }
+
+    #[test]
+    fn run_dispatches_unknown_commands_to_error() {
+        assert!(run(&argv("bogus")).is_err());
+        assert!(run(&argv("help")).is_ok());
+        assert!(run(&argv("apps")).is_ok());
+    }
+}

@@ -1,0 +1,123 @@
+//! End-to-end pipeline integration: workload generation → procstat
+//! collection → ASCII codec → analysis, across crates.
+
+use miller_core::{
+    analyze_sequentiality, classify_trace, paper_targets, read_trace, write_trace, AppKind,
+    AppSummary, IoClass, Study, ALL_APPS,
+};
+
+#[test]
+fn every_app_survives_the_full_gathering_pipeline() {
+    for kind in ALL_APPS {
+        // Generate through the emulated collection pipeline, then through
+        // the compressed ASCII format, then analyze.
+        let direct = Study::app(kind).seed(5).scale(8);
+        let trace = direct.clone().through_procstat().trace();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap_or_else(|e| panic!("{}: encode: {e}", kind.name()));
+        let decoded = read_trace(std::io::Cursor::new(buf))
+            .unwrap_or_else(|e| panic!("{}: decode: {e}", kind.name()));
+        assert_eq!(decoded, trace, "{}: pipeline must be lossless", kind.name());
+
+        // Rates survive the pipeline (scaled run keeps rates).
+        let summary = AppSummary::from_trace(&decoded);
+        let target = paper_targets(kind);
+        let rel = (summary.mb_per_sec - target.mb_per_sec).abs() / target.mb_per_sec.max(1e-9);
+        assert!(
+            rel < 0.15,
+            "{}: {:.2} MB/s vs paper {:.2}",
+            kind.name(),
+            summary.mb_per_sec,
+            target.mb_per_sec
+        );
+    }
+}
+
+#[test]
+fn sequentiality_is_high_for_every_app() {
+    // §5.2: supercomputer access patterns are "highly sequential and very
+    // regular".
+    for kind in ALL_APPS {
+        let trace = Study::app(kind).seed(5).scale(8).trace();
+        let seq = analyze_sequentiality(&trace);
+        let threshold = if kind == AppKind::Venus { 0.6 } else { 0.9 };
+        assert!(
+            seq.sequential_fraction() > threshold,
+            "{}: sequential fraction {:.2}",
+            kind.name(),
+            seq.sequential_fraction()
+        );
+        assert!(
+            seq.modal_size_fraction() > 0.8,
+            "{}: modal-size fraction {:.2}",
+            kind.name(),
+            seq.modal_size_fraction()
+        );
+    }
+}
+
+#[test]
+fn taxonomy_separates_compulsory_from_staging_apps() {
+    for kind in ALL_APPS {
+        let trace = Study::app(kind).seed(5).scale(8).trace();
+        let classes = classify_trace(&trace);
+        let required = classes.fraction_of(IoClass::Required);
+        match kind {
+            AppKind::Gcm | AppKind::Upw => {
+                assert!(
+                    required > 0.99,
+                    "{}: compulsory-only app must be pure required I/O ({required:.2})",
+                    kind.name()
+                );
+            }
+            _ => {
+                assert!(
+                    classes.fraction_of(IoClass::DataSwap) > 0.9,
+                    "{}: staging app must be swap-dominated",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cycles_are_detected_in_every_iterative_app() {
+    for kind in [AppKind::Venus, AppKind::Les, AppKind::Forma, AppKind::Ccm, AppKind::Bvi] {
+        let c = Study::app(kind).seed(5).scale(8).characterize();
+        assert!(
+            c.cycles.period_bins.is_some(),
+            "{}: no cycle detected",
+            kind.name()
+        );
+        assert!(
+            c.cycles.strength > 0.2,
+            "{}: cycle strength {:.2} too weak",
+            kind.name(),
+            c.cycles.strength
+        );
+        assert!(
+            c.cycles.peak_spacing_cv < 0.6,
+            "{}: peaks not evenly spaced (cv {:.2})",
+            kind.name(),
+            c.cycles.peak_spacing_cv
+        );
+    }
+}
+
+#[test]
+fn burstiness_separates_staging_from_compulsory() {
+    let venus = Study::app(AppKind::Venus).seed(5).scale(8).characterize();
+    assert!(
+        venus.burstiness.peak_to_mean > 1.5,
+        "venus peak/mean {:.2} should be bursty",
+        venus.burstiness.peak_to_mean
+    );
+    // gcm's demand is zero almost everywhere.
+    let gcm = Study::app(AppKind::Gcm).seed(5).scale(8).characterize();
+    assert!(
+        gcm.burstiness.idle_fraction > 0.8,
+        "gcm idle-bin fraction {:.2}",
+        gcm.burstiness.idle_fraction
+    );
+}

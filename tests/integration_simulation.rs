@@ -1,0 +1,172 @@
+//! Cross-crate simulation integration: the paper's §6 shape results at
+//! reduced scale, plus determinism of the whole stack.
+
+use miller_core::{AppKind, CampaignBuilder, WritePolicy};
+
+const SCALE: u32 = 8;
+
+fn two_venus(mb: u64) -> miller_core::SimReport {
+    CampaignBuilder::buffered_mb(mb)
+        .app(AppKind::Venus)
+        .app(AppKind::Venus)
+        .seed(42)
+        .scale(SCALE)
+        .run()
+}
+
+#[test]
+fn idle_time_falls_with_cache_size_with_a_knee() {
+    // The Figure 8 shape: steep fall, then flat once the working sets
+    // fit.
+    let small = two_venus(4);
+    let medium = two_venus(32);
+    let large = two_venus(256);
+    assert!(
+        small.idle_secs() > medium.idle_secs(),
+        "4 MB {:.1}s vs 32 MB {:.1}s",
+        small.idle_secs(),
+        medium.idle_secs()
+    );
+    assert!(
+        medium.idle_secs() > large.idle_secs(),
+        "32 MB {:.1}s vs 256 MB {:.1}s",
+        medium.idle_secs(),
+        large.idle_secs()
+    );
+    assert!(
+        large.idle_secs() < small.idle_secs() * 0.2,
+        "knee missing: {:.1}s -> {:.1}s",
+        small.idle_secs(),
+        large.idle_secs()
+    );
+}
+
+#[test]
+fn write_behind_is_the_load_bearing_policy() {
+    // §6.2's 211 s -> 1 s claim, as a factor at reduced scale.
+    let wb = CampaignBuilder::buffered_mb(128)
+        .app(AppKind::Venus)
+        .app(AppKind::Venus)
+        .seed(42)
+        .scale(SCALE)
+        .run();
+    let wt = CampaignBuilder::buffered_mb(128)
+        .configure(|c| c.cache.as_mut().unwrap().write_policy = WritePolicy::WriteThrough)
+        .app(AppKind::Venus)
+        .app(AppKind::Venus)
+        .seed(42)
+        .scale(SCALE)
+        .run();
+    assert!(
+        wt.idle_secs() > 5.0 * wb.idle_secs().max(0.1),
+        "write-behind {:.1}s vs write-through {:.1}s",
+        wb.idle_secs(),
+        wt.idle_secs()
+    );
+}
+
+#[test]
+fn ssd_keeps_single_apps_nearly_fully_utilized() {
+    // §6.3: with the SSD share, one I/O-intensive job keeps the CPU busy.
+    // At 1/8 scale the one-time cold staging of the data set weighs 8x
+    // heavier than at full scale, so the bars are scale-adjusted; the
+    // full-scale numbers are produced by `repro-claims` (C2) and recorded
+    // in EXPERIMENTS.md.
+    for (kind, bar) in [
+        (AppKind::Venus, 0.85),
+        (AppKind::Ccm, 0.97),
+        (AppKind::Les, 0.99),
+        (AppKind::Gcm, 0.99),
+    ] {
+        let r = CampaignBuilder::ssd().app(kind).seed(42).scale(SCALE).run();
+        assert!(
+            r.utilization() > bar,
+            "{} on SSD: utilization {:.3} (bar {bar})",
+            kind.name(),
+            r.utilization()
+        );
+    }
+    // And bvi is the paper's (and our) exception: small requests pay FS
+    // overhead per call, so it lags the others even on the SSD.
+    let bvi = CampaignBuilder::ssd().app(AppKind::Bvi).seed(42).scale(SCALE).run();
+    let venus = CampaignBuilder::ssd().app(AppKind::Venus).seed(42).scale(SCALE).run();
+    assert!(
+        bvi.utilization() < venus.utilization(),
+        "bvi {:.3} should trail venus {:.3} on the SSD",
+        bvi.utilization(),
+        venus.utilization()
+    );
+}
+
+#[test]
+fn les_needs_no_cache_thanks_to_async_io() {
+    // §6.2: les "ran with little idle time on both the SSD and
+    // main-memory cache (because of explicit asynchronous I/O)".
+    let r = CampaignBuilder::buffered_mb(4).app(AppKind::Les).seed(42).scale(SCALE).run();
+    assert!(
+        r.utilization() > 0.95,
+        "les with a tiny cache: utilization {:.3}",
+        r.utilization()
+    );
+    assert_eq!(r.processes[0].blocked_time.ticks(), 0, "async I/O never blocks");
+}
+
+#[test]
+fn n_plus_one_rule_holds_for_disk_bound_apps() {
+    // §2.2: n+1 jobs keep n processors busy. On our single CPU, a second
+    // venus fills most of the first one's I/O stalls.
+    let solo = CampaignBuilder::buffered_mb(16).app(AppKind::Venus).seed(42).scale(SCALE).run();
+    let duo = two_venus(16);
+    assert!(
+        duo.utilization() > solo.utilization() * 1.2,
+        "duo {:.3} vs solo {:.3}",
+        duo.utilization(),
+        solo.utilization()
+    );
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let run = || {
+        let r = two_venus(32);
+        (
+            r.wall_end,
+            r.cpu_busy,
+            r.cpu_idle,
+            r.cache.hit_blocks,
+            r.disk_totals.total_bytes(),
+            r.disk_write_series.bins().len(),
+        )
+    };
+    assert_eq!(run(), run(), "same seed must give bit-identical results");
+}
+
+#[test]
+fn disk_traffic_stays_bursty_despite_buffering() {
+    // §6.2: "Read-ahead and write-behind did not have all the effects we
+    // expected" — the request rate was not smoothed out.
+    let r = two_venus(128);
+    let writes = r.disk_write_series.rates_per_second();
+    let mean = writes.iter().sum::<f64>() / writes.len().max(1) as f64;
+    let peak = writes.iter().cloned().fold(0.0f64, f64::max);
+    assert!(
+        peak > 2.0 * mean,
+        "disk write traffic should remain bursty: peak {peak:.0} vs mean {mean:.0}"
+    );
+}
+
+#[test]
+fn mixed_workload_of_all_seven_apps_runs_clean() {
+    let mut b = CampaignBuilder::buffered_mb(64).seed(1).scale(16);
+    for kind in miller_core::ALL_APPS {
+        b = b.app(kind);
+    }
+    let r = b.run();
+    r.check_time_conservation();
+    assert_eq!(r.processes.len(), 7);
+    for p in &r.processes {
+        assert!(p.ios_issued > 0, "{} issued no I/O", p.name);
+    }
+    // With seven jobs multiprogrammed, the CPU should rarely starve.
+    assert!(r.utilization() > 0.9, "7-way mix utilization {:.3}", r.utilization());
+}

@@ -1,0 +1,127 @@
+//! Whole-stack property tests: arbitrary well-formed application specs
+//! survive generation, the collection pipeline, the codec, and analysis
+//! with all invariants intact.
+
+use miller_core::{
+    analyze_sequentiality, read_trace, write_trace, AppSpec, AppSummary, CheckpointDef, CycleDef,
+    FileDef, SweepOrder, Synchrony,
+};
+use proptest::prelude::*;
+use sim_core::units::{KB, MB};
+use sim_core::SimDuration;
+use workload::{generate, LatencyModel};
+
+fn arb_spec() -> impl Strategy<Value = AppSpec> {
+    (
+        1u32..4,                                        // files
+        2u64..20,                                       // file MB
+        1u32..12,                                       // cycles
+        prop::sample::select(vec![32u64 * KB, 100_000, 512 * KB]), // io size
+        0u64..30,                                       // cycle MB read
+        0u64..20,                                       // cycle MB written
+        any::<bool>(),                                  // interleaved?
+        any::<bool>(),                                  // async?
+        prop::option::of((1u64..8, 1u32..4)),           // checkpoint (MB, every)
+        1u64..60,                                       // cpu seconds
+    )
+        .prop_map(
+            |(nf, fmb, cycles, io, rmb, wmb, interleaved, async_io, ckpt, cpu)| AppSpec {
+                name: "prop".into(),
+                pid: 1,
+                files: (0..nf)
+                    .map(|i| FileDef::new(i + 1, fmb * MB, format!("f{i}")))
+                    .collect(),
+                cpu_time: SimDuration::from_secs(cpu),
+                init_read: (MB, 128 * KB, 1),
+                final_write: (MB, 128 * KB, 1),
+                cycles,
+                cycle: CycleDef {
+                    read_bytes: rmb * MB,
+                    write_bytes: wmb * MB,
+                    read_io: io,
+                    write_io: io,
+                    order: if interleaved {
+                        SweepOrder::Interleaved
+                    } else {
+                        SweepOrder::Sequential
+                    },
+                    interleave_run: 3,
+                    sweep_cpu_frac: 0.5,
+                },
+                checkpoint: ckpt.map(|(mb, every)| CheckpointDef {
+                    bytes: mb * MB,
+                    io_size: 512 * KB,
+                    every_cycles: every,
+                    file_id: 99,
+                }),
+                sync: if async_io { Synchrony::Async } else { Synchrony::Sync },
+                latency: LatencyModel::ymp_disk(),
+                compute_jitter: 0.05,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn generated_traces_encode_decode_and_analyze(spec in arb_spec(), seed in 0u64..1000) {
+        let trace = generate(&spec, seed);
+
+        // Planned totals are exact.
+        let read: u64 = trace.events()
+            .filter(|e| e.dir == miller_core::Direction::Read)
+            .map(|e| e.length).sum();
+        let written: u64 = trace.events()
+            .filter(|e| e.dir == miller_core::Direction::Write)
+            .map(|e| e.length).sum();
+        prop_assert_eq!(read, spec.planned_read_bytes());
+        prop_assert_eq!(written, spec.planned_write_bytes());
+
+        // Time order is a format precondition and must always hold.
+        prop_assert!(trace.is_time_ordered());
+
+        // Codec round trip.
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let decoded = read_trace(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(&decoded, &trace);
+
+        // Determinism.
+        prop_assert_eq!(generate(&spec, seed), trace);
+
+        // Summary self-consistency.
+        let s = AppSummary::from_trace(&decoded);
+        prop_assert_eq!(s.num_ios as usize, decoded.io_count());
+        let total = (s.reads.bytes + s.writes.bytes) as f64 / MB as f64;
+        prop_assert!((total - s.total_io_mb).abs() < 1e-6);
+        // CPU calibration within jitter tolerance.
+        prop_assert!(
+            (s.cpu_secs - spec.cpu_time.as_secs_f64()).abs()
+                / spec.cpu_time.as_secs_f64() < 0.10,
+            "cpu {} vs {}", s.cpu_secs, spec.cpu_time.as_secs_f64()
+        );
+
+        // Sequentiality: generated workloads are paper-shaped (highly
+        // sequential per file) whenever there are at least a few I/Os.
+        if decoded.io_count() > 20 {
+            let seq = analyze_sequentiality(&decoded);
+            prop_assert!(
+                seq.modal_size_fraction() > 0.5,
+                "modal fraction {}", seq.modal_size_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn simulator_handles_arbitrary_generated_apps(spec in arb_spec(), seed in 0u64..100) {
+        let trace = generate(&spec, seed);
+        let r = miller_core::CampaignBuilder::buffered_mb(8)
+            .trace("prop-app", trace.clone())
+            .run();
+        r.check_time_conservation();
+        prop_assert_eq!(r.processes[0].ios_issued as usize, trace.io_count());
+        prop_assert!(r.utilization() <= 1.0 + 1e-9);
+        r.cache.check_invariants();
+    }
+}
