@@ -37,14 +37,17 @@ pub fn detect(trace: &Trace, bin: SimDuration) -> CycleReport {
     let max_lag = (rates.len() / 3).max(2);
     let dominant = ac.dominant_period(2, max_lag);
 
-    // Peak finding: a bin above the 75th-percentile-of-nonzero threshold
-    // that is a local maximum.
+    // Peak finding: a bin above the median-of-nonzero threshold that is
+    // a local maximum. The median (rather than a higher percentile)
+    // keeps every cycle's crest even when the cycle amplitude drifts
+    // over the run — a high cutoff drops the weaker crests and the
+    // surviving peaks then look unevenly spaced.
     let mut nonzero: Vec<f64> = rates.iter().copied().filter(|&r| r > 0.0).collect();
     nonzero.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
     let threshold = if nonzero.is_empty() {
         f64::INFINITY
     } else {
-        nonzero[(nonzero.len() * 3 / 4).min(nonzero.len() - 1)]
+        nonzero[nonzero.len() / 2]
     };
     let mut peak_bins: Vec<usize> = Vec::new();
     for i in 0..rates.len() {

@@ -1,7 +1,9 @@
-//! Benchmarks regenerating Figures 6, 7 and 8 (the buffering
-//! simulations).
+//! Benchmarks of the simulator hot path: the fixed Figure 6 two-venus
+//! run, the full Figure 8 cache sweep (which fans out over the parallel
+//! harness), and an LRU churn microbench sized to a 64 MB cache.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use buffer_cache::lru::LruIndex;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use miller_core::figures::{fig8, two_venus};
 use miller_core::Scale;
 
@@ -24,5 +26,91 @@ fn bench_simulation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_simulation);
+/// The pre-rewrite recency index — `HashMap` sequence numbers plus a
+/// `BTreeMap` recency order, O(log n) per touch — reproduced here so the
+/// benchmark reports a direct before/after for the intrusive-list
+/// rewrite in `buffer_cache::lru`.
+struct BTreeLru {
+    next_seq: u64,
+    by_key: std::collections::HashMap<(u32, u64), u64>,
+    by_seq: std::collections::BTreeMap<u64, (u32, u64)>,
+}
+
+impl BTreeLru {
+    fn new() -> Self {
+        BTreeLru {
+            next_seq: 0,
+            by_key: std::collections::HashMap::new(),
+            by_seq: std::collections::BTreeMap::new(),
+        }
+    }
+
+    fn touch(&mut self, key: (u32, u64)) {
+        if let Some(old) = self.by_key.insert(key, self.next_seq) {
+            self.by_seq.remove(&old);
+        }
+        self.by_seq.insert(self.next_seq, key);
+        self.next_seq += 1;
+    }
+
+    fn pop_lru(&mut self) -> Option<(u32, u64)> {
+        let (&seq, _) = self.by_seq.iter().next()?;
+        let key = self.by_seq.remove(&seq).expect("seq just observed");
+        self.by_key.remove(&key);
+        Some(key)
+    }
+
+    fn len(&self) -> usize {
+        self.by_key.len()
+    }
+}
+
+/// Churn an LRU sized for a 64 MB cache of 4 KB blocks (16384 resident
+/// keys) with a working set twice that size, touching and evicting the
+/// way a venus-style staging pass does. This is the operation the
+/// intrusive-list rewrite made O(1); the old `BTreeMap` index paid
+/// O(log n) per touch and is benchmarked alongside for the before/after.
+fn bench_lru_churn(c: &mut Criterion) {
+    const RESIDENT: usize = 64 * 1024 * 1024 / 4096;
+    const OPS: u64 = 500_000;
+    let mut g = c.benchmark_group("lru");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(OPS));
+    g.bench_function("churn_64mb_4k_blocks", |b| {
+        b.iter(|| {
+            let mut lru: LruIndex<(u32, u64)> = LruIndex::new();
+            let mut x = 0x9e37_79b9_7f4a_7c15u64;
+            for _ in 0..OPS {
+                // xorshift64: cheap deterministic key stream.
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                lru.touch((1, x % (2 * RESIDENT as u64)));
+                if lru.len() > RESIDENT {
+                    black_box(lru.pop_lru());
+                }
+            }
+            lru.len()
+        })
+    });
+    g.bench_function("churn_64mb_4k_blocks_btreemap_before", |b| {
+        b.iter(|| {
+            let mut lru = BTreeLru::new();
+            let mut x = 0x9e37_79b9_7f4a_7c15u64;
+            for _ in 0..OPS {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                lru.touch((1, x % (2 * RESIDENT as u64)));
+                if lru.len() > RESIDENT {
+                    black_box(lru.pop_lru());
+                }
+            }
+            lru.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulation, bench_lru_churn);
 criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! `repro_bench` — machine-readable timing of the simulation sweeps.
+//!
+//! Runs the Figure 6/7 fixed simulations, the Figure 8 cache sweep
+//! (through the parallel harness), and the 64 MB LRU churn microbench,
+//! then writes `BENCH_sim.json` with wall seconds and an events-per-
+//! second rate for each sweep. "Events" are simulated I/O requests for
+//! the simulator sweeps and index operations for the LRU microbench.
+//!
+//! Thread count follows the harness: `MILLER_THREADS`, then
+//! `RAYON_NUM_THREADS`, then all available cores.
+
+use buffer_cache::lru::LruIndex;
+use buffer_cache::WritePolicy;
+use miller_core::figures::two_venus_report;
+use miller_core::{par_sweep, thread_count, Scale, SimReport};
+use serde::Serialize;
+use std::time::Instant;
+
+const MB: u64 = 1024 * 1024;
+
+/// One timed sweep.
+#[derive(Debug, Serialize)]
+struct SweepTiming {
+    /// Sweep label.
+    name: String,
+    /// Host wall-clock seconds for the sweep.
+    wall_secs: f64,
+    /// Events processed (simulated I/O requests, or LRU operations).
+    events: u64,
+    /// Events per host second.
+    events_per_sec: f64,
+}
+
+/// The whole `BENCH_sim.json` document.
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    /// Worker threads the parallel harness used.
+    threads: usize,
+    /// Scale divisor the simulations ran at.
+    scale: u32,
+    /// Per-sweep timings.
+    sweeps: Vec<SweepTiming>,
+}
+
+fn ios_issued(r: &SimReport) -> u64 {
+    r.processes.iter().map(|p| p.ios_issued).sum()
+}
+
+fn timed(name: &str, f: impl FnOnce() -> u64) -> SweepTiming {
+    let start = Instant::now();
+    let events = f();
+    let wall_secs = start.elapsed().as_secs_f64();
+    SweepTiming {
+        name: name.to_string(),
+        wall_secs,
+        events,
+        events_per_sec: if wall_secs > 0.0 { events as f64 / wall_secs } else { 0.0 },
+    }
+}
+
+fn main() {
+    let scale = Scale(16);
+    let seed = 42;
+    let mut sweeps = Vec::new();
+
+    sweeps.push(timed("fig6_two_venus_32mb", || {
+        let r = two_venus_report(32 * MB, 4096, true, WritePolicy::WriteBehind, scale, seed);
+        ios_issued(&r)
+    }));
+
+    sweeps.push(timed("fig7_two_venus_128mb", || {
+        let r = two_venus_report(128 * MB, 4096, true, WritePolicy::WriteBehind, scale, seed);
+        ios_issued(&r)
+    }));
+
+    // The Figure 8 grid, fanned out over the parallel harness exactly
+    // like `fig8()` — reproduced here so per-point I/O counts are
+    // visible for the rate.
+    sweeps.push(timed("fig8_cache_sweep_14pt", || {
+        let sizes = [4u64, 8, 16, 32, 64, 128, 256];
+        let mut jobs = Vec::new();
+        for &block in &[4096u64, 8192] {
+            for &mb in &sizes {
+                jobs.push((mb, block));
+            }
+        }
+        let counts = par_sweep(&jobs, |&(mb, block)| {
+            let r = two_venus_report(mb * MB, block, true, WritePolicy::WriteBehind, scale, seed);
+            ios_issued(&r)
+        });
+        counts.iter().sum()
+    }));
+
+    sweeps.push(timed("lru_churn_64mb_4k_blocks", || {
+        const RESIDENT: usize = 64 * 1024 * 1024 / 4096;
+        const OPS: u64 = 2_000_000;
+        let mut lru: LruIndex<(u32, u64)> = LruIndex::new();
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..OPS {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            lru.touch((1, x % (2 * RESIDENT as u64)));
+            if lru.len() > RESIDENT {
+                std::hint::black_box(lru.pop_lru());
+            }
+        }
+        OPS
+    }));
+
+    let report = BenchReport { threads: thread_count(), scale: scale.0, sweeps };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+    println!("{json}");
+}

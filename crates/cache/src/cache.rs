@@ -22,9 +22,10 @@
 use crate::config::{CacheConfig, WritePolicy};
 use crate::lru::LruIndex;
 use crate::stats::CacheStats;
+use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 use sim_core::SimTime;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// A contiguous byte range within one file — the unit of implied device
 /// traffic.
@@ -86,6 +87,25 @@ struct Entry {
 
 type Key = (u32, u64); // (file_id, block number)
 
+/// The contiguous block span of the request currently being serviced.
+/// Blocks in the span are pinned: eviction spares them while any
+/// alternative victim exists. A request always touches one file and one
+/// contiguous run of blocks, so a three-word span replaces the
+/// per-request `HashSet<Key>` the hot path used to allocate and probe.
+#[derive(Debug, Clone, Copy)]
+struct PinnedSpan {
+    file_id: u32,
+    first: u64,
+    last: u64,
+}
+
+impl PinnedSpan {
+    #[inline]
+    fn contains(&self, key: &Key) -> bool {
+        key.0 == self.file_id && (self.first..=self.last).contains(&key.1)
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct SeqTrack {
     next_offset: u64,
@@ -96,14 +116,14 @@ struct SeqTrack {
 #[derive(Debug)]
 pub struct BlockCache {
     config: CacheConfig,
-    entries: HashMap<Key, Entry>,
+    entries: FxHashMap<Key, Entry>,
     global_lru: LruIndex<Key>,
-    per_owner: HashMap<u32, LruIndex<Key>>,
-    owner_counts: HashMap<u32, u64>,
+    per_owner: FxHashMap<u32, LruIndex<Key>>,
+    owner_counts: FxHashMap<u32, u64>,
     /// Dirty blocks awaiting background flush, ordered by readiness time.
     flush_q: VecDeque<(Key, SimTime /* dirty_since */, SimTime /* ready_at */)>,
     /// Per (process, file) sequential-read detector state.
-    seq: HashMap<(u32, u32), SeqTrack>,
+    seq: FxHashMap<(u32, u32), SeqTrack>,
     stats: CacheStats,
 }
 
@@ -113,12 +133,12 @@ impl BlockCache {
         config.validate();
         BlockCache {
             config,
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             global_lru: LruIndex::new(),
-            per_owner: HashMap::new(),
-            owner_counts: HashMap::new(),
+            per_owner: FxHashMap::default(),
+            owner_counts: FxHashMap::default(),
             flush_q: VecDeque::new(),
-            seq: HashMap::new(),
+            seq: FxHashMap::default(),
             stats: CacheStats::default(),
         }
     }
@@ -194,7 +214,7 @@ impl BlockCache {
         }
     }
 
-    fn select_victim(&mut self, pinned: &HashSet<Key>) -> Option<Key> {
+    fn select_victim(&mut self, pinned: &PinnedSpan) -> Option<Key> {
         // Global LRU, sparing pinned (in-flight request) blocks while any
         // alternative exists. When *everything* resident is pinned — a
         // request larger than the whole cache — the request streams
@@ -223,7 +243,7 @@ impl BlockCache {
 
     /// Pick one of `owner`'s own blocks to evict (ownership-cap
     /// enforcement, §6.2's anti-hogging ablation).
-    fn select_own_victim(&mut self, owner: u32, pinned: &HashSet<Key>) -> Option<Key> {
+    fn select_own_victim(&mut self, owner: u32, pinned: &PinnedSpan) -> Option<Key> {
         let own = self.per_owner.get_mut(&owner)?;
         let mut skipped = Vec::new();
         let mut found = None;
@@ -252,7 +272,7 @@ impl BlockCache {
         dirty: bool,
         prefetched: bool,
         now: SimTime,
-        pinned: &HashSet<Key>,
+        pinned: &PinnedSpan,
         writebacks: &mut Vec<ByteRange>,
     ) {
         while self.entries.len() as u64 >= self.config.capacity_blocks() {
@@ -306,7 +326,7 @@ impl BlockCache {
         }
         let bs = self.config.block_size;
         let (first, last) = self.block_span(offset, length);
-        let pinned: HashSet<Key> = (first..=last).map(|b| (file_id, b)).collect();
+        let pinned = PinnedSpan { file_id, first, last };
 
         let mut run_start: Option<u64> = None;
         for b in first..=last {
@@ -406,7 +426,7 @@ impl BlockCache {
         }
         let bs = self.config.block_size;
         let (first, last) = self.block_span(offset, length);
-        let pinned: HashSet<Key> = (first..=last).map(|b| (file_id, b)).collect();
+        let pinned = PinnedSpan { file_id, first, last };
         let write_through = matches!(self.config.write_policy, WritePolicy::WriteThrough);
 
         for b in first..=last {

@@ -1,0 +1,253 @@
+//! The [`Strategy`] trait and core combinators: ranges, tuples,
+//! [`Just`], [`Map`], [`Union`], and type-erased [`BoxedStrategy`].
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike upstream proptest there is no value tree / shrinking: a
+/// strategy is just a deterministic function of the test RNG stream.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with a function.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Erase the concrete strategy type (used by `prop_oneof!`, whose
+    /// arms generally have distinct types).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe sampling, so differently-typed strategies can share a
+/// `BoxedStrategy<T>`.
+trait DynStrategy<T> {
+    fn sample_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// A type-erased strategy handle.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample_dyn(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.base.sample(rng))
+    }
+}
+
+/// Uniform choice among same-valued strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from the already-erased arms.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = rng.usize_in(0..self.options.len());
+        self.options[idx].sample(rng)
+    }
+}
+
+/// String-literal strategies, as in proptest's regex support — for the
+/// tiny subset this workspace uses: `<atom>{min,max}` where the atom is
+/// `.` (any char except newline) or a character class like `[ -~]`.
+/// Any other pattern samples as the literal string itself.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        match parse_simple_regex(self) {
+            Some((atom, min, max)) => {
+                let len = rng.usize_in(min..max + 1);
+                (0..len).map(|_| atom.sample_char(rng)).collect()
+            }
+            None => (*self).to_owned(),
+        }
+    }
+}
+
+enum CharAtom {
+    /// `.` — any char except `\n`.
+    AnyChar,
+    /// `[...]` — inclusive ranges and single chars.
+    Class(Vec<(char, char)>),
+}
+
+impl CharAtom {
+    fn sample_char(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharAtom::AnyChar => {
+                // Mostly printable ASCII, with occasional multi-byte
+                // chars so UTF-8 boundary handling gets exercised too.
+                match rng.usize_in(0..10) {
+                    0 => ['é', 'λ', '中', '\u{2603}', '\t', '\u{7f}']
+                        [rng.usize_in(0..6)],
+                    _ => (0x20 + rng.usize_in(0..0x5f) as u32)
+                        .try_into()
+                        .expect("printable ASCII"),
+                }
+            }
+            CharAtom::Class(ranges) => {
+                let (lo, hi) = ranges[rng.usize_in(0..ranges.len())];
+                let span = hi as u32 - lo as u32 + 1;
+                char::from_u32(lo as u32 + rng.usize_in(0..span as usize) as u32)
+                    .expect("class range stays in valid scalar values")
+            }
+        }
+    }
+}
+
+fn parse_simple_regex(pattern: &str) -> Option<(CharAtom, usize, usize)> {
+    let (atom, rest) = if let Some(rest) = pattern.strip_prefix('.') {
+        (CharAtom::AnyChar, rest)
+    } else if let Some(body_and_rest) = pattern.strip_prefix('[') {
+        let close = body_and_rest.find(']')?;
+        let body: Vec<char> = body_and_rest[..close].chars().collect();
+        let mut ranges = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            if i + 2 < body.len() && body[i + 1] == '-' {
+                ranges.push((body[i], body[i + 2]));
+                i += 3;
+            } else {
+                ranges.push((body[i], body[i]));
+                i += 1;
+            }
+        }
+        if ranges.is_empty() {
+            return None;
+        }
+        (CharAtom::Class(ranges), &body_and_rest[close + 1..])
+    } else {
+        return None;
+    };
+    let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (min_s, max_s) = counts.split_once(',')?;
+    let min = min_s.trim().parse().ok()?;
+    let max = max_s.trim().parse().ok()?;
+    (min <= max).then_some((atom, min, max))
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.int_in_u64_span(
+                    self.start as u64,
+                    (self.end as u64).wrapping_sub(self.start as u64),
+                ) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = (*self.end() as u64)
+                    .wrapping_sub(*self.start() as u64)
+                    .wrapping_add(1);
+                rng.int_in_u64_span(*self.start() as u64, span) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.f64_in(self.start, self.end)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($S:ident . $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10, L.11)
+}

@@ -1,0 +1,126 @@
+//! Offline stand-in for `rustc-hash`: the Fx multiply-rotate hasher.
+//!
+//! This is the same add-rotate-multiply mixing rustc uses. Two
+//! properties matter on the simulator's per-request hot path: it is far
+//! cheaper than SipHash for the small integer-tuple keys the cache and
+//! engine use, and it has no per-process random state, so map iteration
+//! order (where it leaks into behavior) is identical across runs —
+//! a prerequisite for byte-identical sweep results.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+/// Stateless builder for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fast non-cryptographic hasher (deterministic, not DoS-resistant —
+/// fine here: all keys are simulator-internal integers).
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline(always)]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let word = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+            self.add_to_hash(word);
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            let word = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+            self.add_to_hash(word as u64);
+            bytes = &bytes[4..];
+        }
+        if bytes.len() >= 2 {
+            let word = u16::from_le_bytes(bytes[..2].try_into().unwrap());
+            self.add_to_hash(word as u64);
+            bytes = &bytes[2..];
+        }
+        if let Some(&b) = bytes.first() {
+            self.add_to_hash(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_builders() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(0xDEAD_BEEF);
+        b.write_u64(0xDEAD_BEEF);
+        assert_eq!(a.finish(), b.finish());
+        assert_ne!(a.finish(), 0);
+    }
+
+    #[test]
+    fn map_basics() {
+        let mut m: FxHashMap<(u32, u64), u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i as u64 * 7), i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&(41, 287)), Some(&41));
+        let s: FxHashSet<u64> = (0..100).collect();
+        assert!(s.contains(&99));
+    }
+
+    #[test]
+    fn byte_paths_agree_on_word_boundaries() {
+        // 8 bytes via write() must equal one write_u64 for the same LE
+        // word, because tuple keys hash through write_u64.
+        let mut a = FxHasher::default();
+        a.write(&42u64.to_le_bytes());
+        let mut b = FxHasher::default();
+        b.write_u64(42);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,373 @@
+//! Offline stand-in for `serde`, vendored because this build environment
+//! has no access to crates.io.
+//!
+//! It keeps the call-surface the workspace actually uses — `#[derive(
+//! Serialize, Deserialize)]` on plain structs and enums, plus the
+//! `serde_json` entry points — while shrinking the machinery to a single
+//! JSON-shaped [`Value`] tree. Field order is declaration order and map
+//! iteration is a `Vec`, so serialization is fully deterministic: the
+//! byte-identical-results guarantees in `crates/experiments` rely on
+//! that.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value: the single data model both serialization and
+/// deserialization pass through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating point number.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Value>),
+    /// JSON object, in insertion order (deterministic output).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, when this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements, when this is an array.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Look up a field in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Deserialization failure: a human-readable mismatch description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Build an "expected X" error.
+    pub fn expected(what: &str) -> DeError {
+        DeError(format!("expected {what}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Convert to the data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Convert from the data model.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Fetch and decode a struct field; absent fields decode from `Null` so
+/// `Option` fields tolerate omission, like serde's derive.
+pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+    match v.get(name) {
+        Some(inner) => T::from_value(inner)
+            .map_err(|e| DeError(format!("field `{name}`: {}", e.0))),
+        None => T::from_value(&Value::Null)
+            .map_err(|_| DeError(format!("missing field `{name}`"))),
+    }
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match *v {
+                    Value::U64(n) => <$t>::try_from(n)
+                        .map_err(|_| DeError::expected(stringify!($t))),
+                    Value::I64(n) => <$t>::try_from(n)
+                        .map_err(|_| DeError::expected(stringify!($t))),
+                    _ => Err(DeError::expected(stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match *v {
+                    Value::U64(n) => i64::try_from(n)
+                        .ok()
+                        .and_then(|n| <$t>::try_from(n).ok())
+                        .ok_or_else(|| DeError::expected(stringify!($t))),
+                    Value::I64(n) => <$t>::try_from(n)
+                        .map_err(|_| DeError::expected(stringify!($t))),
+                    _ => Err(DeError::expected(stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match *v {
+                    Value::F64(x) => Ok(x as $t),
+                    Value::U64(n) => Ok(n as $t),
+                    Value::I64(n) => Ok(n as $t),
+                    _ => Err(DeError::expected(stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+ser_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            _ => Err(DeError::expected("bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_seq()
+            .ok_or_else(|| DeError::expected("array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+/// Render a serialized key as a JSON object key, like serde_json: only
+/// strings, integers, and bools can key a map.
+fn key_string(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        Value::U64(n) => n.to_string(),
+        Value::I64(n) => n.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("unsupported map key: {other:?}"),
+    }
+}
+
+/// Rebuild the value a map key serialized from. Integer-looking keys
+/// decode as numbers so `HashMap<u32, _>` round-trips.
+fn key_value(s: &str) -> Value {
+    if let Ok(n) = s.parse::<u64>() {
+        return Value::U64(n);
+    }
+    if let Ok(n) = s.parse::<i64>() {
+        return Value::I64(n);
+    }
+    Value::Str(s.to_owned())
+}
+
+impl<K, V, S> Serialize for std::collections::HashMap<K, V, S>
+where
+    K: Serialize,
+    V: Serialize,
+{
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_string(&k.to_value()), v.to_value()))
+            .collect();
+        // Hash iteration order is not deterministic (and with random
+        // hashers not even stable across runs); sorted keys make every
+        // serialization byte-identical.
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<K, V, S> Deserialize for std::collections::HashMap<K, V, S>
+where
+    K: Deserialize + Eq + std::hash::Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_map()
+            .ok_or_else(|| DeError::expected("object"))?
+            .iter()
+            .map(|(k, item)| {
+                Ok((K::from_value(&key_value(k))?, V::from_value(item)?))
+            })
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let s = v.as_seq().ok_or_else(|| DeError::expected("tuple array"))?;
+                Ok(($($name::from_value(
+                    s.get($idx).ok_or_else(|| DeError::expected("tuple element"))?
+                )?,)+))
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(i32::from_value(&(-7i32).to_value()), Ok(-7));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(
+            String::from_value(&String::from("x").to_value()),
+            Ok(String::from("x"))
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v: Vec<u64> = vec![1, 2, 3];
+        assert_eq!(Vec::<u64>::from_value(&v.to_value()), Ok(v));
+        let t = (1u64, 2u64, 3u32);
+        assert_eq!(<(u64, u64, u32)>::from_value(&t.to_value()), Ok(t));
+        assert_eq!(Option::<u64>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Option::<u64>::from_value(&Value::U64(9)), Ok(Some(9)));
+    }
+
+    #[test]
+    fn missing_option_field_is_none() {
+        let v = Value::Map(vec![]);
+        assert_eq!(field::<Option<u64>>(&v, "gone"), Ok(None));
+        assert!(field::<u64>(&v, "gone").is_err());
+    }
+}

@@ -1,0 +1,400 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! The registry crates (`syn`, `quote`) are unavailable offline, so the
+//! input item is parsed directly from the `proc_macro` token stream. The
+//! supported shapes are exactly what this workspace derives on: plain
+//! structs with named fields, tuple structs, and enums whose variants are
+//! unit, tuple, or struct-like. Generic types are rejected with a clear
+//! error rather than silently mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed `struct` or `enum` item.
+enum Item {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Tuple struct with `arity` unnamed fields.
+    TupleStruct { name: String, arity: usize },
+    /// Unit struct.
+    UnitStruct { name: String },
+    /// Enum.
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// One enum variant shape.
+enum Variant {
+    Unit(String),
+    Tuple(String, usize),
+    Struct(String, Vec<String>),
+}
+
+/// Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // '#' + [...]
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Split a token list at top-level commas. "Top-level" must also ignore
+/// commas inside generic arguments (`HashMap<u32, f64>`): angle brackets
+/// are plain punctuation in a token stream, not delimited groups, so
+/// their nesting depth is tracked by hand.
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0usize;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                // `->` in fn-pointer types is not a closing bracket.
+                let after_dash = matches!(
+                    cur.last(),
+                    Some(TokenTree::Punct(prev)) if prev.as_char() == '-'
+                );
+                if !after_dash {
+                    angle_depth = angle_depth.saturating_sub(1);
+                }
+            }
+            _ => {}
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Field names of a named-fields body (`{ a: T, b: U }`).
+fn named_fields(body: &[TokenTree]) -> Vec<String> {
+    split_commas(body)
+        .into_iter()
+        .filter_map(|chunk| {
+            let i = skip_attrs_and_vis(&chunk, 0);
+            match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde stand-in derive does not support generic type `{name}`"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Item::Struct { name, fields: named_fields(&body) })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Item::TupleStruct { name, arity: split_commas(&body).len() })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => {
+            let g = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => return Err(format!("expected enum body, got {other:?}")),
+            };
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            let variants = split_commas(&body)
+                .into_iter()
+                .map(|chunk| {
+                    let j = skip_attrs_and_vis(&chunk, 0);
+                    let vname = match chunk.get(j) {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        other => return Err(format!("expected variant name, got {other:?}")),
+                    };
+                    match chunk.get(j + 1) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                            Ok(Variant::Tuple(vname, split_commas(&inner).len()))
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                            Ok(Variant::Struct(vname, named_fields(&inner)))
+                        }
+                        _ => Ok(Variant::Unit(vname)),
+                    }
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Item::Enum { name, variants })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(String::from({f:?}), serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Map(vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                // Newtype structs serialize transparently, like serde.
+                "serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|k| format!("serde::Serialize::to_value(&self.{k})"))
+                    .collect();
+                format!("serde::Value::Seq(vec![{}])", elems.join(", "))
+            };
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{ serde::Value::Null }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match v {
+                    Variant::Unit(vn) => format!(
+                        "{name}::{vn} => serde::Value::Str(String::from({vn:?}))"
+                    ),
+                    Variant::Tuple(vn, arity) => {
+                        let binds: Vec<String> =
+                            (0..*arity).map(|k| format!("f{k}")).collect();
+                        let inner = if *arity == 1 {
+                            "serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("serde::Value::Seq(vec![{}])", elems.join(", "))
+                        };
+                        format!(
+                            "{name}::{vn}({}) => serde::Value::Map(vec![(String::from({vn:?}), {inner})])",
+                            binds.join(", ")
+                        )
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(String::from({f:?}), serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vn} {{ {} }} => serde::Value::Map(vec![(String::from({vn:?}), serde::Value::Map(vec![{}]))])",
+                            fields.join(", "),
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: serde::field(v, {f:?})?"))
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                         if v.as_map().is_none() {{\n\
+                             return Err(serde::DeError::expected(\"map for struct {name}\"));\n\
+                         }}\n\
+                         Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("Ok({name}(serde::Deserialize::from_value(v)?))")
+            } else {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|k| {
+                        format!(
+                            "serde::Deserialize::from_value(s.get({k}).ok_or_else(|| serde::DeError::expected(\"element {k} of {name}\"))?)?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let s = v.as_seq().ok_or_else(|| serde::DeError::expected(\"array for {name}\"))?;\n\
+                     Ok({name}({}))",
+                    elems.join(", ")
+                )
+            };
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(_v: &serde::Value) -> Result<Self, serde::DeError> {{ Ok({name}) }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(vn) => Some(format!("{vn:?} => return Ok({name}::{vn})")),
+                    _ => None,
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(_) => None,
+                    Variant::Tuple(vn, arity) => {
+                        let body = if *arity == 1 {
+                            format!("return Ok({name}::{vn}(serde::Deserialize::from_value(inner)?))")
+                        } else {
+                            let elems: Vec<String> = (0..*arity)
+                                .map(|k| {
+                                    format!(
+                                        "serde::Deserialize::from_value(s.get({k}).ok_or_else(|| serde::DeError::expected(\"element {k} of {name}::{vn}\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "let s = inner.as_seq().ok_or_else(|| serde::DeError::expected(\"array for {name}::{vn}\"))?;\n\
+                                 return Ok({name}::{vn}({}))",
+                                elems.join(", ")
+                            )
+                        };
+                        Some(format!("{vn:?} => {{ {body} }}"))
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: serde::field(inner, {f:?})?"))
+                            .collect();
+                        Some(format!(
+                            "{vn:?} => {{ return Ok({name}::{vn} {{ {} }}) }}",
+                            inits.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                         if let serde::Value::Str(s) = v {{\n\
+                             match s.as_str() {{ {unit} _ => {{}} }}\n\
+                         }}\n\
+                         if let Some(m) = v.as_map() {{\n\
+                             if let Some((tag, inner)) = m.first() {{\n\
+                                 match tag.as_str() {{ {data} _ => {{}} }}\n\
+                                 let _ = inner;\n\
+                             }}\n\
+                         }}\n\
+                         Err(serde::DeError::expected(\"variant of {name}\"))\n\
+                     }}\n\
+                 }}",
+                unit = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", unit_arms.join(",\n"))
+                },
+                data = if data_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", data_arms.join(",\n"))
+                },
+            )
+        }
+    }
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}

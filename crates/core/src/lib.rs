@@ -31,7 +31,10 @@
 pub use batch_queue::{BatchMachine, Job, JobOutcome, QueueDef};
 pub use buffer_cache::{BlockCache, CacheConfig, CacheStats, WritePolicy};
 pub use fs_map::{measure as measure_amplification, translate as translate_to_physical, Amplification, FsConfig, FsLayout};
-pub use experiments::{ablations, app_trace, claims, extras, figures, nplus1, render, tables, Scale};
+pub use experiments::{
+    ablations, app_trace, claims, extras, figures, nplus1, par_sweep, render, serial_sweep,
+    tables, thread_count, Scale,
+};
 pub use iosim::{CacheTier, SchedParams, SimConfig, SimReport, Simulation};
 pub use iotrace::{
     measure_compression, read_trace, write_trace, CompressionReport, DataKind, Direction,

@@ -3,6 +3,7 @@
 //! disk-queueing simplification.
 
 use crate::figures::two_venus_report;
+use crate::par_sweep::par_sweep;
 use crate::render::{num, pct, TextTable};
 use crate::runner::{app_trace, Scale};
 use buffer_cache::WritePolicy;
@@ -49,60 +50,58 @@ impl AblationSweep {
 
 /// Read-ahead on/off for 2×venus at 128 MB.
 pub fn readahead_ablation(scale: Scale, seed: u64) -> AblationSweep {
-    let on = two_venus_report(128 * MB, 4096, true, WritePolicy::WriteBehind, scale, seed);
-    let off = two_venus_report(128 * MB, 4096, false, WritePolicy::WriteBehind, scale, seed);
-    AblationSweep {
-        name: "read-ahead".into(),
-        points: vec![
-            AblationSweep::point("read-ahead on", &on),
-            AblationSweep::point("read-ahead off", &off),
-        ],
-    }
+    let variants = [("read-ahead on", true), ("read-ahead off", false)];
+    let points = par_sweep(&variants, |&(label, read_ahead)| {
+        let r = two_venus_report(
+            128 * MB,
+            4096,
+            read_ahead,
+            WritePolicy::WriteBehind,
+            scale,
+            seed,
+        );
+        AblationSweep::point(label, &r)
+    });
+    AblationSweep { name: "read-ahead".into(), points }
 }
 
 /// Write policies: through, behind, and Sprite's 30 s delay.
 pub fn write_policy_ablation(scale: Scale, seed: u64) -> AblationSweep {
-    let mk = |policy, label: &str| {
-        let r = two_venus_report(128 * MB, 4096, true, policy, scale, seed);
-        AblationSweep::point(label, &r)
-    };
-    AblationSweep {
-        name: "write policy".into(),
-        points: vec![
-            mk(WritePolicy::WriteThrough, "write-through"),
-            mk(WritePolicy::WriteBehind, "write-behind"),
-            mk(WritePolicy::sprite(), "sprite 30s delay"),
-        ],
-    }
+    let variants = [
+        ("write-through", WritePolicy::WriteThrough),
+        ("write-behind", WritePolicy::WriteBehind),
+        ("sprite 30s delay", WritePolicy::sprite()),
+    ];
+    let points = par_sweep(&variants, |(label, policy)| {
+        let r = two_venus_report(128 * MB, 4096, true, *policy, scale, seed);
+        AblationSweep::point(*label, &r)
+    });
+    AblationSweep { name: "write policy".into(), points }
 }
 
 /// Block sizes at a fixed 32 MB cache (Figure 8 compares 4 KB and 8 KB;
 /// we add 16 KB).
 pub fn block_size_ablation(scale: Scale, seed: u64) -> AblationSweep {
-    let points = [4096u64, 8192, 16384]
-        .iter()
-        .map(|&b| {
-            let r = two_venus_report(32 * MB, b, true, WritePolicy::WriteBehind, scale, seed);
-            AblationSweep::point(format!("{} KB blocks", b / 1024), &r)
-        })
-        .collect();
+    let sizes = [4096u64, 8192, 16384];
+    let points = par_sweep(&sizes, |&b| {
+        let r = two_venus_report(32 * MB, b, true, WritePolicy::WriteBehind, scale, seed);
+        AblationSweep::point(format!("{} KB blocks", b / 1024), &r)
+    });
     AblationSweep { name: "cache block size".into(), points }
 }
 
 /// Scheduler quantum sweep for 2×venus at 32 MB.
 pub fn quantum_ablation(scale: Scale, seed: u64) -> AblationSweep {
-    let points = [1u64, 16, 100]
-        .iter()
-        .map(|&ms| {
-            let mut config = SimConfig::buffered(32 * MB);
-            config.sched.quantum = SimDuration::from_millis(ms);
-            let mut sim = Simulation::new(config);
-            sim.add_process(1, "venus#1", &app_trace(AppKind::Venus, 1, seed, scale));
-            sim.add_process(2, "venus#2", &app_trace(AppKind::Venus, 2, seed + 1, scale));
-            let r = sim.run();
-            AblationSweep::point(format!("quantum {ms} ms"), &r)
-        })
-        .collect();
+    let quanta = [1u64, 16, 100];
+    let points = par_sweep(&quanta, |&ms| {
+        let mut config = SimConfig::buffered(32 * MB);
+        config.sched.quantum = SimDuration::from_millis(ms);
+        let mut sim = Simulation::new(config);
+        sim.add_process(1, "venus#1", &app_trace(AppKind::Venus, 1, seed, scale));
+        sim.add_process(2, "venus#2", &app_trace(AppKind::Venus, 2, seed + 1, scale));
+        let r = sim.run();
+        AblationSweep::point(format!("quantum {ms} ms"), &r)
+    });
     AblationSweep { name: "scheduler quantum".into(), points }
 }
 
@@ -124,16 +123,17 @@ pub struct QueueingAblation {
 
 /// Run the queueing ablation.
 pub fn queueing_ablation(scale: Scale, seed: u64) -> QueueingAblation {
-    let run = |queueing: bool| {
+    let variants = [false, true];
+    let mut reports = par_sweep(&variants, |&queueing| {
         let mut config = SimConfig::buffered(32 * MB);
         config.disk = if queueing { DiskParams::ymp_with_queueing() } else { DiskParams::ymp() };
         let mut sim = Simulation::new(config);
         sim.add_process(1, "venus#1", &app_trace(AppKind::Venus, 1, seed, scale));
         sim.add_process(2, "venus#2", &app_trace(AppKind::Venus, 2, seed + 1, scale));
         sim.run()
-    };
-    let nq = run(false);
-    let q = run(true);
+    });
+    let q = reports.pop().expect("two variants");
+    let nq = reports.pop().expect("two variants");
     let cv = |r: &iosim::SimReport| {
         let mut combined = sim_core::RateSeries::new(r.disk_read_series.bin_width());
         let n = r.disk_read_series.bins().len().max(r.disk_write_series.bins().len());

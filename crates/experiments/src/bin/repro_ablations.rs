@@ -5,7 +5,11 @@ use experiments::ablations::{all_ablations, render_ablations};
 use experiments::Scale;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    if let Err(msg) = experiments::apply_threads_flag(&mut args) {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    }
     let scale = if args.iter().any(|a| a == "--quick") { Scale(8) } else { Scale::FULL };
     let report = all_ablations(scale, 42);
     println!("{}", render_ablations(&report));

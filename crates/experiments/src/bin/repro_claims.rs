@@ -4,7 +4,11 @@ use experiments::claims::{all_claims, render_claims};
 use experiments::Scale;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    if let Err(msg) = experiments::apply_threads_flag(&mut args) {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    }
     let scale = if args.iter().any(|a| a == "--quick") { Scale(8) } else { Scale::FULL };
     let report = all_claims(scale, 42);
     println!("{}", render_claims(&report));

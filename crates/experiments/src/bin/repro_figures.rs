@@ -4,7 +4,11 @@ use experiments::figures::{fig3, fig4};
 use experiments::Scale;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    if let Err(msg) = experiments::apply_threads_flag(&mut args) {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    }
     let scale = if args.iter().any(|a| a == "--quick") { Scale(8) } else { Scale::FULL };
     for (label, fig) in [("Figure 3", fig3(scale, 42)), ("Figure 4", fig4(scale, 42))] {
         println!("{label}: {} — mean {:.1} MB/s, peak {:.1} MB/s, {} peaks (spacing CV {:.2})",

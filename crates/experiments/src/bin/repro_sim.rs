@@ -5,7 +5,11 @@ use experiments::nplus1::{nplus1, render_nplus1};
 use experiments::Scale;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    if let Err(msg) = experiments::apply_threads_flag(&mut args) {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    }
     let scale = if args.iter().any(|a| a == "--quick") { Scale(8) } else { Scale::FULL };
     for (label, fig) in [("Figure 6", fig6(scale, 42)), ("Figure 7", fig7(scale, 42))] {
         println!(

@@ -8,7 +8,11 @@ use experiments::tables::{render_table1, render_table2, table1};
 use experiments::Scale;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    if let Err(msg) = experiments::apply_threads_flag(&mut args) {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    }
     let scale = if args.iter().any(|a| a == "--quick") { Scale(8) } else { Scale::FULL };
     let result = table1(scale, 42);
     println!("{}", render_table1(&result));

@@ -71,17 +71,16 @@ pub struct Claim2 {
 
 /// Check C2.
 pub fn claim2(scale: Scale, seed: u64) -> Claim2 {
-    let mut apps = Vec::new();
-    for kind in ALL_APPS {
+    let apps = crate::par_sweep::par_sweep(&ALL_APPS, |&kind| {
         let mut sim = Simulation::new(SimConfig::ssd());
         sim.add_process(1, kind.name(), &app_trace(kind, 1, seed, scale));
         let r = sim.run();
-        apps.push(SsdUtilization {
+        SsdUtilization {
             app: kind.name().to_string(),
             utilization: r.utilization(),
             idle_secs: r.idle_secs(),
-        });
-    }
+        }
+    });
     let nearly_full = apps.iter().filter(|a| a.utilization > 0.985).count();
     Claim2 { nearly_full, holds: nearly_full + 1 >= ALL_APPS.len(), apps }
 }
@@ -162,8 +161,7 @@ pub struct Claim5 {
 /// Check C5.
 pub fn claim5(scale: Scale, seed: u64) -> Claim5 {
     let staging = [AppKind::Venus, AppKind::Les, AppKind::Bvi];
-    let mut apps = Vec::new();
-    for kind in staging {
+    let apps = crate::par_sweep::par_sweep(&staging, |&kind| {
         let mut config = SimConfig::buffered(16 * MB);
         // Measure *demand* locality: disable read-ahead so prefetch hits
         // don't masquerade as reuse.
@@ -171,11 +169,11 @@ pub fn claim5(scale: Scale, seed: u64) -> Claim5 {
         let mut sim = Simulation::new(config);
         sim.add_process(1, kind.name(), &app_trace(kind, 1, seed, scale));
         let r = sim.run();
-        apps.push(Absorption {
+        Absorption {
             app: kind.name().to_string(),
             read_absorption: r.cache.read_absorption(),
-        });
-    }
+        }
+    });
     let holds = apps.iter().all(|a| a.read_absorption < 0.5);
     Claim5 { apps, holds }
 }

@@ -1,5 +1,6 @@
 //! Figures 3, 4, 6, 7 and 8.
 
+use crate::par_sweep::par_sweep;
 use crate::render::ascii_plot;
 use crate::runner::{app_trace, Scale};
 use buffer_cache::WritePolicy;
@@ -176,45 +177,41 @@ pub struct Fig8Result {
     pub no_idle_baseline_secs: f64,
 }
 
-/// Figure 8: idle time of 2×venus vs cache size (4–256 MB), for 4 KB and
-/// 8 KB blocks. Runs the sweep in parallel with scoped threads.
-pub fn fig8(scale: Scale, seed: u64) -> Fig8Result {
-    let sizes: Vec<u64> = vec![4, 8, 16, 32, 64, 128, 256];
-    let blocks: Vec<u64> = vec![4096, 8192];
-    let mut jobs: Vec<(u64, u64)> = Vec::new();
+/// The Figure 8 parameter grid: (cache MB, block size) in render order.
+fn fig8_jobs() -> Vec<(u64, u64)> {
+    let sizes = [4u64, 8, 16, 32, 64, 128, 256];
+    let blocks = [4096u64, 8192];
+    let mut jobs = Vec::with_capacity(sizes.len() * blocks.len());
     for &b in &blocks {
         for &s in &sizes {
             jobs.push((s, b));
         }
     }
-    let mut points: Vec<Option<Fig8Point>> = vec![None; jobs.len()];
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (i, &(cache_mb, block)) in jobs.iter().enumerate() {
-            handles.push((i, scope.spawn(move |_| {
-                let r = two_venus_report(
-                    cache_mb * MB,
-                    block,
-                    true,
-                    WritePolicy::WriteBehind,
-                    scale,
-                    seed,
-                );
-                Fig8Point {
-                    cache_mb,
-                    block_size: block,
-                    idle_secs: r.idle_secs(),
-                    wall_secs: r.wall_secs(),
-                    utilization: r.utilization(),
-                }
-            })));
+    jobs
+}
+
+/// Figure 8: idle time of 2×venus vs cache size (4–256 MB), for 4 KB and
+/// 8 KB blocks. Fans the sweep out over [`par_sweep`]; results stay in
+/// grid order regardless of which point finishes first.
+pub fn fig8(scale: Scale, seed: u64) -> Fig8Result {
+    let jobs = fig8_jobs();
+    let points = par_sweep(&jobs, |&(cache_mb, block)| {
+        let r = two_venus_report(
+            cache_mb * MB,
+            block,
+            true,
+            WritePolicy::WriteBehind,
+            scale,
+            seed,
+        );
+        Fig8Point {
+            cache_mb,
+            block_size: block,
+            idle_secs: r.idle_secs(),
+            wall_secs: r.wall_secs(),
+            utilization: r.utilization(),
         }
-        for (i, h) in handles {
-            points[i] = Some(h.join().expect("sweep thread panicked"));
-        }
-    })
-    .expect("crossbeam scope");
-    let points: Vec<Fig8Point> = points.into_iter().map(|p| p.expect("filled")).collect();
+    });
     // No-idle baseline: busy time of any run (identical CPU demand).
     let baseline = {
         let r = two_venus_report(256 * MB, 4096, true, WritePolicy::WriteBehind, scale, seed);

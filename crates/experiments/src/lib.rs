@@ -22,8 +22,10 @@ pub mod claims;
 pub mod extras;
 pub mod figures;
 pub mod nplus1;
+pub mod par_sweep;
 pub mod render;
 pub mod runner;
 pub mod tables;
 
+pub use par_sweep::{apply_threads_flag, par_sweep, serial_sweep, thread_count};
 pub use runner::{app_trace, scaled_spec, Scale};

@@ -89,35 +89,40 @@ fn typical_job(pid: u32, seed: u64, scale: Scale) -> Trace {
 }
 
 /// Run the sweep: CPUs ∈ `cpu_counts`, jobs ∈ {n, n+1, n+2} for each n,
-/// each job a "typical" (mostly in-memory) program.
+/// each job a "typical" (mostly in-memory) program. Points fan out over
+/// [`crate::par_sweep::par_sweep`]; each point's job traces derive only
+/// from `(seed, job index)`, so results are identical to a serial run.
 pub fn nplus1(cpu_counts: &[usize], scale: Scale, seed: u64) -> NPlusOneResult {
-    let mut points = Vec::new();
+    let mut grid: Vec<(usize, usize)> = Vec::new();
     for &cpus in cpu_counts {
         for jobs in [cpus, cpus + 1, cpus + 2] {
-            // No cache: every read pays the disk, giving the steady ~85 %
-            // duty cycle the rule presumes.
-            let mut config = SimConfig::uncached();
-            config.n_cpus = cpus;
-            // Enough spindles that the disks never serialize the fleet.
-            config.n_disks = 16;
-            let mut sim = Simulation::new(config);
-            for j in 0..jobs {
-                let pid = (j + 1) as u32;
-                sim.add_process(
-                    pid,
-                    format!("job#{pid}"),
-                    &typical_job(pid, seed + j as u64, scale),
-                );
-            }
-            let r = sim.run();
-            points.push(NPlusOnePoint {
-                cpus,
-                jobs,
-                utilization: r.utilization(),
-                idle_secs: r.idle_secs(),
-            });
+            grid.push((cpus, jobs));
         }
     }
+    let points = crate::par_sweep::par_sweep(&grid, |&(cpus, jobs)| {
+        // No cache: every read pays the disk, giving the steady ~85 %
+        // duty cycle the rule presumes.
+        let mut config = SimConfig::uncached();
+        config.n_cpus = cpus;
+        // Enough spindles that the disks never serialize the fleet.
+        config.n_disks = 16;
+        let mut sim = Simulation::new(config);
+        for j in 0..jobs {
+            let pid = (j + 1) as u32;
+            sim.add_process(
+                pid,
+                format!("job#{pid}"),
+                &typical_job(pid, seed + j as u64, scale),
+            );
+        }
+        let r = sim.run();
+        NPlusOnePoint {
+            cpus,
+            jobs,
+            utilization: r.utilization(),
+            idle_secs: r.idle_secs(),
+        }
+    });
     NPlusOneResult { points }
 }
 

@@ -42,17 +42,17 @@ pub struct TableResult {
 }
 
 fn build(scale: Scale, seed: u64) -> TableResult {
-    let rows = ALL_APPS
-        .iter()
-        .map(|&kind| {
-            let trace = app_trace(kind, 1, seed, scale);
-            AppRow {
-                app: kind.name().to_string(),
-                paper: paper_targets(kind),
-                measured: AppSummary::from_trace(&trace),
-            }
-        })
-        .collect();
+    // One trace generation + summarization per app, fanned out; row
+    // order follows ALL_APPS (the paper's order) regardless of which
+    // app finishes first.
+    let rows = crate::par_sweep::par_sweep(&ALL_APPS, |&kind| {
+        let trace = app_trace(kind, 1, seed, scale);
+        AppRow {
+            app: kind.name().to_string(),
+            paper: paper_targets(kind),
+            measured: AppSummary::from_trace(&trace),
+        }
+    });
     TableResult { rows }
 }
 

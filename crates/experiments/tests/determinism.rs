@@ -1,0 +1,60 @@
+//! The parallel harness must be a pure speedup: fanning a sweep out
+//! over worker threads may not change a single byte of any result.
+//!
+//! Each test runs the same parameter grid twice — once through
+//! [`experiments::serial_sweep`], once through [`experiments::par_sweep`]
+//! — with identical seeds, and compares the serialized reports
+//! byte-for-byte. Simulations are deterministic functions of their
+//! (config, seed) inputs, so any divergence here means the harness
+//! leaked scheduling order into the results.
+
+use buffer_cache::WritePolicy;
+use experiments::figures::two_venus_report;
+use experiments::{par_sweep, serial_sweep, Scale};
+use iosim::SimReport;
+
+const MB: u64 = 1024 * 1024;
+
+/// The Figure 6/8-style grid: two venus copies vs cache size and block
+/// size. Small scale keeps the test quick; the code path is identical
+/// to the full-scale sweep.
+fn grid() -> Vec<(u64, u64)> {
+    let mut jobs = Vec::new();
+    for &block in &[4096u64, 8192] {
+        for &mb in &[4u64, 16, 32] {
+            jobs.push((mb, block));
+        }
+    }
+    jobs
+}
+
+fn run_point(&(mb, block): &(u64, u64)) -> SimReport {
+    two_venus_report(mb * MB, block, true, WritePolicy::WriteBehind, Scale(32), 42)
+}
+
+#[test]
+fn parallel_sweep_matches_serial_byte_for_byte() {
+    let jobs = grid();
+    let serial = serial_sweep(&jobs, run_point);
+    let parallel = par_sweep(&jobs, run_point);
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (s, p)) in serial.iter().zip(parallel.iter()).enumerate() {
+        let s_json = serde_json::to_string(s).expect("serialize serial report");
+        let p_json = serde_json::to_string(p).expect("serialize parallel report");
+        assert_eq!(
+            s_json, p_json,
+            "sweep point {i} ({:?}) diverges between serial and parallel runs",
+            jobs[i]
+        );
+    }
+}
+
+#[test]
+fn parallel_sweep_is_stable_across_repeat_runs() {
+    let jobs = grid();
+    let a = par_sweep(&jobs, run_point);
+    let b = par_sweep(&jobs, run_point);
+    let a_json = serde_json::to_string(&a).expect("serialize");
+    let b_json = serde_json::to_string(&b).expect("serialize");
+    assert_eq!(a_json, b_json, "repeat parallel sweeps must be byte-identical");
+}

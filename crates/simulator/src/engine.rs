@@ -27,9 +27,10 @@ use crate::metrics::{ProcessMetrics, SimReport};
 use crate::process::{ProcState, ProcessState};
 use buffer_cache::{BlockCache, ByteRange};
 use iotrace::{Direction, IoEvent, Synchrony, Trace, TraceItem};
+use rustc_hash::FxHashMap;
 use sim_core::{EventQueue, RateSeries, SimDuration, SimTime};
 use storage_model::{AccessKind, BlockDevice, DiskModel};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 #[derive(Debug, Clone, Copy)]
 enum Ev {
@@ -59,17 +60,18 @@ pub struct Simulation {
     /// CPUs currently free (the paper models 1; §2.2's n+1 experiments
     /// use more).
     free_cpus: usize,
-    /// Per running process: compute consumed by its pending SliceDone,
-    /// plus whether the slice ends in an I/O issue.
-    slice_info: HashMap<usize, (SimDuration, bool)>,
+    /// Per process slot: compute consumed by its pending SliceDone, plus
+    /// whether the slice ends in an I/O issue. Indexed by slot (dense:
+    /// one entry per process), set at dispatch and taken at SliceDone.
+    slice_info: Vec<Option<(SimDuration, bool)>>,
     queue: EventQueue<Ev>,
     cache: Option<BlockCache>,
     disks: Vec<DiskModel>,
-    placements: HashMap<u32, Placement>,
+    placements: FxHashMap<u32, Placement>,
     next_file_slot: Vec<u64>,
     /// Blocks fetched by read-ahead or async demand whose data is still
     /// in flight: block → ready time.
-    pending_blocks: HashMap<(u32, u64), SimTime>,
+    pending_blocks: FxHashMap<(u32, u64), SimTime>,
     flush_busy: Vec<bool>,
     flush_queues: Vec<VecDeque<ByteRange>>,
     flush_timer_armed: bool,
@@ -96,11 +98,11 @@ impl Simulation {
             procs: Vec::new(),
             ready: VecDeque::new(),
             free_cpus: config.n_cpus,
-            slice_info: HashMap::new(),
+            slice_info: Vec::new(),
             queue: EventQueue::new(),
-            placements: HashMap::new(),
+            placements: FxHashMap::default(),
             next_file_slot: vec![0; config.n_disks],
-            pending_blocks: HashMap::new(),
+            pending_blocks: FxHashMap::default(),
             flush_busy: vec![false; config.n_disks],
             flush_queues: (0..config.n_disks).map(|_| VecDeque::new()).collect(),
             flush_timer_armed: false,
@@ -252,7 +254,7 @@ impl Simulation {
         self.overhead += self.config.sched.ctx_switch
             + if completing { per_io } else { SimDuration::ZERO };
         self.free_cpus -= 1;
-        self.slice_info.insert(slot, (compute, completing));
+        self.slice_info[slot] = Some((compute, completing));
         self.queue.schedule(now + slice, Ev::SliceDone { slot });
         true
     }
@@ -364,6 +366,7 @@ impl Simulation {
 
     /// Run to completion and report.
     pub fn run(mut self) -> SimReport {
+        self.slice_info.resize(self.procs.len(), None);
         for slot in 0..self.procs.len() {
             if self.procs[slot].state == ProcState::Ready {
                 self.ready.push_back(slot);
@@ -378,9 +381,8 @@ impl Simulation {
             match ev {
                 Ev::SliceDone { slot } => {
                     self.free_cpus += 1;
-                    let (compute, completing) = self
-                        .slice_info
-                        .remove(&slot)
+                    let (compute, completing) = self.slice_info[slot]
+                        .take()
                         .expect("slice info set at dispatch");
                     let p = &mut self.procs[slot];
                     p.compute_remaining -= compute;
