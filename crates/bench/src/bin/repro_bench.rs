@@ -1,25 +1,41 @@
 //! `repro_bench` — machine-readable timing of the simulation sweeps.
 //!
 //! Runs the Figure 6/7 fixed simulations, the Figure 8 cache sweep
-//! (through the parallel harness), and the 64 MB LRU churn microbench,
-//! then writes `BENCH_sim.json` with wall seconds and an events-per-
-//! second rate for each sweep. "Events" are simulated I/O requests for
-//! the simulator sweeps and index operations for the LRU microbench.
+//! (through the parallel harness), the trace-generation and cold/warm
+//! trace-store benches, and the 64 MB LRU churn microbench, then writes
+//! `BENCH_sim.json` with wall seconds and an events-per-second rate for
+//! each sweep. "Events" are simulated I/O requests for the simulator
+//! sweeps, generated trace records for the generation bench, and index
+//! operations for the LRU microbench.
 //!
 //! Thread count follows the harness: `MILLER_THREADS`, then
-//! `RAYON_NUM_THREADS`, then all available cores.
+//! `RAYON_NUM_THREADS`, then all available cores. `MILLER_BENCH_SCALE`
+//! overrides the scale divisor (default 16; CI uses a higher divisor
+//! for a quicker run).
+//!
+//! `--baseline <path>` compares this run against a previously written
+//! `BENCH_sim.json` and exits non-zero if any shared sweep's
+//! `events_per_sec` regressed by more than 30 %. The comparison is
+//! skipped (with a note) when the baseline was recorded at a different
+//! thread count or scale, since rates are only comparable like-for-like.
 
 use buffer_cache::lru::LruIndex;
 use buffer_cache::WritePolicy;
-use miller_core::figures::two_venus_report;
-use miller_core::{par_sweep, thread_count, Scale, SimReport};
-use serde::Serialize;
+use miller_core::figures::{two_venus_report, two_venus_report_in};
+use miller_core::{
+    generate, par_sweep, scaled_spec, thread_count, AppKind, Scale, SimReport, TraceStore,
+};
+use serde::{Deserialize, Serialize};
+use std::process::ExitCode;
 use std::time::Instant;
 
 const MB: u64 = 1024 * 1024;
 
+/// Tolerated events-per-second regression vs the baseline.
+const REGRESSION_TOLERANCE: f64 = 0.30;
+
 /// One timed sweep.
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 struct SweepTiming {
     /// Sweep label.
     name: String,
@@ -32,7 +48,7 @@ struct SweepTiming {
 }
 
 /// The whole `BENCH_sim.json` document.
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 struct BenchReport {
     /// Worker threads the parallel harness used.
     threads: usize,
@@ -58,10 +74,32 @@ fn timed(name: &str, f: impl FnOnce() -> u64) -> SweepTiming {
     }
 }
 
-fn main() {
-    let scale = Scale(16);
-    let seed = 42;
+/// The Figure 8 parameter grid (cache MB, block size).
+fn fig8_jobs() -> Vec<(u64, u64)> {
+    let sizes = [4u64, 8, 16, 32, 64, 128, 256];
+    let mut jobs = Vec::new();
+    for &block in &[4096u64, 8192] {
+        for &mb in &sizes {
+            jobs.push((mb, block));
+        }
+    }
+    jobs
+}
+
+fn run_benches(scale: Scale, seed: u64) -> Vec<SweepTiming> {
     let mut sweeps = Vec::new();
+
+    // Raw workload generation, bypassing the store: the cost the
+    // memoized sweeps no longer pay per point.
+    sweeps.push(timed("trace_gen_two_venus_x5", || {
+        let mut events = 0u64;
+        for _ in 0..5 {
+            let t1 = generate(&scaled_spec(AppKind::Venus, 1, scale), seed);
+            let t2 = generate(&scaled_spec(AppKind::Venus, 2, scale), seed + 1);
+            events += (t1.io_count() + t2.io_count()) as u64;
+        }
+        events
+    }));
 
     sweeps.push(timed("fig6_two_venus_32mb", || {
         let r = two_venus_report(32 * MB, 4096, true, WritePolicy::WriteBehind, scale, seed);
@@ -75,21 +113,37 @@ fn main() {
 
     // The Figure 8 grid, fanned out over the parallel harness exactly
     // like `fig8()` — reproduced here so per-point I/O counts are
-    // visible for the rate.
+    // visible for the rate. The global store is warm by now (fig6/fig7
+    // above), so this is the steady-state sweep rate.
     sweeps.push(timed("fig8_cache_sweep_14pt", || {
-        let sizes = [4u64, 8, 16, 32, 64, 128, 256];
-        let mut jobs = Vec::new();
-        for &block in &[4096u64, 8192] {
-            for &mb in &sizes {
-                jobs.push((mb, block));
-            }
-        }
-        let counts = par_sweep(&jobs, |&(mb, block)| {
+        let counts = par_sweep(&fig8_jobs(), |&(mb, block)| {
             let r = two_venus_report(mb * MB, block, true, WritePolicy::WriteBehind, scale, seed);
             ios_issued(&r)
         });
         counts.iter().sum()
     }));
+
+    // The same grid against a private store: cold includes the one-time
+    // generation of both venus traces, warm re-runs with them memoized.
+    // cold − warm ≈ the total generation cost amortized over the sweep.
+    let store = TraceStore::new();
+    for name in ["fig8_sweep_cold_store", "fig8_sweep_warm_store"] {
+        sweeps.push(timed(name, || {
+            let counts = par_sweep(&fig8_jobs(), |&(mb, block)| {
+                let r = two_venus_report_in(
+                    &store,
+                    mb * MB,
+                    block,
+                    true,
+                    WritePolicy::WriteBehind,
+                    scale,
+                    seed,
+                );
+                ios_issued(&r)
+            });
+            counts.iter().sum()
+        }));
+    }
 
     sweeps.push(timed("lru_churn_64mb_4k_blocks", || {
         const RESIDENT: usize = 64 * 1024 * 1024 / 4096;
@@ -108,8 +162,111 @@ fn main() {
         OPS
     }));
 
+    sweeps
+}
+
+/// Compare `report` against the already-parsed `base`line. Returns the
+/// list of sweeps that regressed beyond tolerance (empty = pass).
+fn compare_baseline(report: &BenchReport, base: &BenchReport) -> Vec<String> {
+    if base.threads != report.threads || base.scale != report.scale {
+        eprintln!(
+            "baseline was recorded at threads={}/scale={}, this run is \
+             threads={}/scale={}; rates are not comparable, skipping the check",
+            base.threads, base.scale, report.threads, report.scale
+        );
+        return Vec::new();
+    }
+    let mut regressed = Vec::new();
+    for s in &report.sweeps {
+        let Some(b) = base.sweeps.iter().find(|b| b.name == s.name) else {
+            eprintln!("{}: not in baseline, skipping", s.name);
+            continue;
+        };
+        if b.events_per_sec <= 0.0 {
+            continue;
+        }
+        let ratio = s.events_per_sec / b.events_per_sec;
+        eprintln!(
+            "{}: {:.0} events/s vs baseline {:.0} ({:+.1}%)",
+            s.name,
+            s.events_per_sec,
+            b.events_per_sec,
+            (ratio - 1.0) * 100.0
+        );
+        if ratio < 1.0 - REGRESSION_TOLERANCE {
+            regressed.push(format!(
+                "{} regressed {:.1}% (limit {:.0}%)",
+                s.name,
+                (1.0 - ratio) * 100.0,
+                REGRESSION_TOLERANCE * 100.0
+            ));
+        }
+    }
+    regressed
+}
+
+fn main() -> ExitCode {
+    let mut baseline = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--baseline" => match args.next() {
+                Some(p) => baseline = Some(p),
+                None => {
+                    eprintln!("repro_bench: --baseline needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("repro_bench: unknown argument `{other}`");
+                eprintln!("usage: repro_bench [--baseline BENCH_sim.json]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Parse the baseline up front: the baseline path is usually the
+    // same BENCH_sim.json this run is about to overwrite.
+    let base = match &baseline {
+        Some(path) => match std::fs::read_to_string(path)
+            .map_err(|e| format!("{path}: {e}"))
+            .and_then(|text| {
+                serde_json::from_str::<BenchReport>(&text).map_err(|e| format!("{path}: {e}"))
+            }) {
+            Ok(b) => Some(b),
+            Err(e) => {
+                eprintln!("repro_bench: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    let scale = Scale(
+        std::env::var("MILLER_BENCH_SCALE")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .filter(|&k| k >= 1)
+            .unwrap_or(16),
+    );
+    let seed = 42;
+
+    let sweeps = run_benches(scale, seed);
     let report = BenchReport { threads: thread_count(), scale: scale.0, sweeps };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
     println!("{json}");
+
+    if let Some(base) = base {
+        let regressed = compare_baseline(&report, &base);
+        if regressed.is_empty() {
+            eprintln!("baseline check passed");
+        } else {
+            for r in &regressed {
+                eprintln!("FAIL: {r}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
 }

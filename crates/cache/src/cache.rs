@@ -75,17 +75,111 @@ pub struct WriteOutcome {
     pub dirtied_blocks: u64,
 }
 
+type Key = (u32, u64); // (file_id, block number)
+
+/// Sentinel slot meaning "no frame".
+const NIL: u32 = u32::MAX;
+
+/// One resident cache block: entry state and the intrusive global-LRU
+/// links live in a single slab cell, so the per-block hot path pays one
+/// hash probe plus one slab access instead of separate map probes for
+/// the entry table and the recency index.
 #[derive(Debug, Clone, Copy)]
-struct Entry {
+struct Frame {
+    key: Key,
     owner: u32,
     dirty: bool,
     /// Installed by read-ahead and not yet referenced by a demand access.
     prefetched: bool,
     /// When the oldest unwritten data in this block was dirtied.
     dirty_since: SimTime,
+    /// Toward the LRU end of the recency list.
+    prev: u32,
+    /// Toward the MRU end; doubles as the free-list link.
+    next: u32,
 }
 
-type Key = (u32, u64); // (file_id, block number)
+const PAGE_SHIFT: u64 = 6;
+const PAGE_BLOCKS: usize = 1 << PAGE_SHIFT;
+
+#[derive(Debug)]
+struct Page {
+    /// Number of non-NIL slots.
+    live: u32,
+    /// Frame slot per block within the page, NIL when absent.
+    slots: Box<[u32; PAGE_BLOCKS]>,
+}
+
+/// Sparse paged index from block key to frame slot.
+///
+/// Requests touch contiguous block runs, so resolving a block through a
+/// small per-page map plus a direct array index is far cheaper than a
+/// full-width hash probe per block into a map with one entry per
+/// resident block: the probed map is ~64× smaller and neighboring
+/// blocks land in the same page. Pages are allocated on first use and
+/// freed when their last block leaves, so memory tracks residency even
+/// for pathologically sparse offsets.
+#[derive(Debug, Default)]
+struct PagedIndex {
+    pages: FxHashMap<(u32, u64), Page>,
+    len: usize,
+}
+
+impl PagedIndex {
+    #[inline]
+    fn split(key: &Key) -> ((u32, u64), usize) {
+        ((key.0, key.1 >> PAGE_SHIFT), (key.1 & (PAGE_BLOCKS as u64 - 1)) as usize)
+    }
+
+    #[inline]
+    fn get(&self, key: &Key) -> Option<u32> {
+        let (pk, i) = Self::split(key);
+        match self.pages.get(&pk)?.slots[i] {
+            NIL => None,
+            s => Some(s),
+        }
+    }
+
+    #[inline]
+    fn contains_key(&self, key: &Key) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Insert a key known to be absent (blocks are installed only on
+    /// miss).
+    fn insert(&mut self, key: Key, slot: u32) {
+        let (pk, i) = Self::split(&key);
+        let p = self
+            .pages
+            .entry(pk)
+            .or_insert_with(|| Page { live: 0, slots: Box::new([NIL; PAGE_BLOCKS]) });
+        debug_assert_eq!(p.slots[i], NIL, "install over a resident block");
+        p.slots[i] = slot;
+        p.live += 1;
+        self.len += 1;
+    }
+
+    fn remove(&mut self, key: &Key) -> Option<u32> {
+        let (pk, i) = Self::split(key);
+        let p = self.pages.get_mut(&pk)?;
+        let s = p.slots[i];
+        if s == NIL {
+            return None;
+        }
+        p.slots[i] = NIL;
+        p.live -= 1;
+        self.len -= 1;
+        if p.live == 0 {
+            self.pages.remove(&pk);
+        }
+        Some(s)
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+}
 
 /// The contiguous block span of the request currently being serviced.
 /// Blocks in the span are pinned: eviction spares them while any
@@ -116,8 +210,20 @@ struct SeqTrack {
 #[derive(Debug)]
 pub struct BlockCache {
     config: CacheConfig,
-    entries: FxHashMap<Key, Entry>,
-    global_lru: LruIndex<Key>,
+    /// Resident blocks: key → slot in `frames`.
+    index: PagedIndex,
+    /// Slab of frames; freed slots chain on `free` via `Frame::next`.
+    frames: Vec<Frame>,
+    /// Least recently used end of the recency list.
+    head: u32,
+    /// Most recently used end of the recency list.
+    tail: u32,
+    /// Free-list head.
+    free: u32,
+    /// Per-owner recency and counts exist only to enforce
+    /// `per_process_cap_blocks`; when no cap is configured (the common
+    /// case) `track_owners` is false and the hot path skips them.
+    track_owners: bool,
     per_owner: FxHashMap<u32, LruIndex<Key>>,
     owner_counts: FxHashMap<u32, u64>,
     /// Dirty blocks awaiting background flush, ordered by readiness time.
@@ -132,9 +238,13 @@ impl BlockCache {
     pub fn new(config: CacheConfig) -> Self {
         config.validate();
         BlockCache {
+            track_owners: config.per_process_cap_blocks.is_some(),
             config,
-            entries: FxHashMap::default(),
-            global_lru: LruIndex::new(),
+            index: PagedIndex::default(),
+            frames: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            free: NIL,
             per_owner: FxHashMap::default(),
             owner_counts: FxHashMap::default(),
             flush_q: VecDeque::new(),
@@ -155,18 +265,20 @@ impl BlockCache {
 
     /// Number of resident blocks.
     pub fn resident_blocks(&self) -> u64 {
-        self.entries.len() as u64
+        self.index.len() as u64
     }
 
     /// Bytes of dirty data currently buffered.
     pub fn dirty_bytes(&self) -> u64 {
-        self.entries.values().filter(|e| e.dirty).count() as u64 * self.config.block_size
+        // Freed frames always have `dirty` cleared, so the whole slab can
+        // be scanned without consulting the free list.
+        self.frames.iter().filter(|f| f.dirty).count() as u64 * self.config.block_size
     }
 
     /// Whether the block containing `offset` of `file_id` is resident
     /// (test/diagnostic helper).
     pub fn contains(&self, file_id: u32, offset: u64) -> bool {
-        self.entries.contains_key(&(file_id, offset / self.config.block_size))
+        self.index.contains_key(&(file_id, offset / self.config.block_size))
     }
 
     #[inline]
@@ -177,68 +289,125 @@ impl BlockCache {
         (first, last)
     }
 
-    fn touch(&mut self, key: Key) {
-        self.global_lru.touch(key);
-        if let Some(e) = self.entries.get(&key) {
-            self.per_owner.entry(e.owner).or_default().touch(key);
+    /// Detach slot `i` from the recency list (it stays allocated).
+    #[inline]
+    fn unlink(&mut self, i: u32) {
+        let (prev, next) = (self.frames[i as usize].prev, self.frames[i as usize].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.frames[p as usize].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.frames[n as usize].prev = prev,
         }
     }
 
-    fn remove_entry(&mut self, key: Key) -> Option<Entry> {
-        let e = self.entries.remove(&key)?;
-        self.global_lru.remove(&key);
-        if let Some(lru) = self.per_owner.get_mut(&e.owner) {
-            lru.remove(&key);
+    /// Append slot `i` at the most-recently-used end.
+    #[inline]
+    fn push_tail(&mut self, i: u32) {
+        self.frames[i as usize].prev = self.tail;
+        self.frames[i as usize].next = NIL;
+        match self.tail {
+            NIL => self.head = i,
+            t => self.frames[t as usize].next = i,
         }
-        if let Some(c) = self.owner_counts.get_mut(&e.owner) {
-            *c = c.saturating_sub(1);
-        }
-        Some(e)
+        self.tail = i;
     }
 
-    /// Remove `victim` from the cache, accounting for its state. Returns
-    /// the writeback range when the victim was dirty.
-    fn finish_evict(&mut self, victim: Key) -> Option<ByteRange> {
-        let entry = self.remove_entry(victim).expect("victim must be resident");
-        if entry.prefetched {
+    /// Mark slot `i` most recently used.
+    #[inline]
+    fn touch_slot(&mut self, i: u32) {
+        if self.tail != i {
+            self.unlink(i);
+            self.push_tail(i);
+        }
+    }
+
+    /// Take a slot off the free list, or grow the slab.
+    fn alloc_frame(&mut self, frame: Frame) -> u32 {
+        match self.free {
+            NIL => {
+                self.frames.push(frame);
+                (self.frames.len() - 1) as u32
+            }
+            i => {
+                self.free = self.frames[i as usize].next;
+                self.frames[i as usize] = frame;
+                i
+            }
+        }
+    }
+
+    /// Return slot `i` to the free list. Clears `dirty` so slab scans
+    /// ([`Self::dirty_bytes`], [`Self::flush_all`]) skip freed frames.
+    fn free_frame(&mut self, i: u32) {
+        let f = &mut self.frames[i as usize];
+        f.dirty = false;
+        f.next = self.free;
+        self.free = i;
+    }
+
+    /// Remove the frame at `slot` from the cache, accounting for its
+    /// state. Returns the writeback range when the victim was dirty.
+    fn finish_evict(&mut self, slot: u32) -> Option<ByteRange> {
+        let f = self.frames[slot as usize];
+        self.index.remove(&f.key);
+        self.unlink(slot);
+        self.free_frame(slot);
+        if self.track_owners {
+            if let Some(lru) = self.per_owner.get_mut(&f.owner) {
+                lru.remove(&f.key);
+            }
+            if let Some(c) = self.owner_counts.get_mut(&f.owner) {
+                *c = c.saturating_sub(1);
+            }
+        }
+        if f.prefetched {
             self.stats.wasted_prefetch_blocks += 1;
         }
-        if entry.dirty {
+        if f.dirty {
             self.stats.dirty_evictions += 1;
             let bs = self.config.block_size;
             self.stats.device_bytes_written += bs;
-            Some(ByteRange { file_id: victim.0, offset: victim.1 * bs, length: bs })
+            Some(ByteRange { file_id: f.key.0, offset: f.key.1 * bs, length: bs })
         } else {
             self.stats.clean_evictions += 1;
             None
         }
     }
 
-    fn select_victim(&mut self, pinned: &PinnedSpan) -> Option<Key> {
+    fn select_victim(&mut self, pinned: &PinnedSpan) -> Option<u32> {
         // Global LRU, sparing pinned (in-flight request) blocks while any
-        // alternative exists. When *everything* resident is pinned — a
-        // request larger than the whole cache — the request streams
-        // through by sacrificing its own oldest block.
-        let mut skipped = Vec::new();
-        let mut found = None;
-        while let Some(k) = self.global_lru.pop_lru() {
-            if pinned.contains(&k) {
-                skipped.push(k);
+        // alternative exists: pinned blocks found at the LRU end are
+        // re-touched (they are part of the in-flight request, so making
+        // them most recent matches their actual usage) and the walk
+        // continues from the new head. When *everything* resident is
+        // pinned — a request larger than the whole cache — the request
+        // streams through by sacrificing the first pinned block popped,
+        // exactly as the old pop-and-requeue loop did.
+        let resident = self.index.len();
+        let mut first_pinned = NIL;
+        let mut pops = 0usize;
+        loop {
+            if pops >= resident {
+                // Cycled through the whole list: everything is pinned.
+                return (first_pinned != NIL).then_some(first_pinned);
+            }
+            let i = self.head;
+            if i == NIL {
+                return None;
+            }
+            if pinned.contains(&self.frames[i as usize].key) {
+                if first_pinned == NIL {
+                    first_pinned = i;
+                }
+                self.touch_slot(i);
+                pops += 1;
             } else {
-                found = Some(k);
-                break;
+                return Some(i);
             }
         }
-        if found.is_none() && !skipped.is_empty() {
-            found = Some(skipped.remove(0));
-        }
-        // Skipped blocks are all part of the in-flight request, so
-        // re-touching them (making them most recent) matches their actual
-        // usage.
-        for k in skipped {
-            self.global_lru.touch(k);
-        }
-        found
     }
 
     /// Pick one of `owner`'s own blocks to evict (ownership-cap
@@ -275,7 +444,7 @@ impl BlockCache {
         pinned: &PinnedSpan,
         writebacks: &mut Vec<ByteRange>,
     ) {
-        while self.entries.len() as u64 >= self.config.capacity_blocks() {
+        while self.index.len() as u64 >= self.config.capacity_blocks() {
             match self.select_victim(pinned) {
                 Some(victim) => {
                     if let Some(wb) = self.finish_evict(victim) {
@@ -285,12 +454,21 @@ impl BlockCache {
                 None => break, // cache empty; nothing to evict
             }
         }
-        self.entries.insert(
+        let slot = self.alloc_frame(Frame {
             key,
-            Entry { owner, dirty, prefetched, dirty_since: now },
-        );
-        *self.owner_counts.entry(owner).or_insert(0) += 1;
-        self.touch(key);
+            owner,
+            dirty,
+            prefetched,
+            dirty_since: now,
+            prev: NIL,
+            next: NIL,
+        });
+        self.index.insert(key, slot);
+        self.push_tail(slot);
+        if self.track_owners {
+            *self.owner_counts.entry(owner).or_insert(0) += 1;
+            self.per_owner.entry(owner).or_default().touch(key);
+        }
 
         // Ownership cap: trim the owner back to its allotment even when
         // the cache as a whole has room (§6.2's buffer-limit experiment).
@@ -298,7 +476,9 @@ impl BlockCache {
             while self.owner_counts.get(&owner).copied().unwrap_or(0) > cap {
                 match self.select_own_victim(owner, pinned) {
                     Some(victim) => {
-                        if let Some(wb) = self.finish_evict(victim) {
+                        let slot =
+                            self.index.get(&victim).expect("own victim must be resident");
+                        if let Some(wb) = self.finish_evict(slot) {
                             writebacks.push(wb);
                         }
                     }
@@ -332,15 +512,20 @@ impl BlockCache {
         for b in first..=last {
             let key = (file_id, b);
             self.stats.accessed_blocks += 1;
-            if let Some(e) = self.entries.get_mut(&key) {
+            if let Some(slot) = self.index.get(&key) {
                 self.stats.hit_blocks += 1;
                 out.hit_blocks += 1;
-                if e.prefetched {
-                    e.prefetched = false;
+                let f = &mut self.frames[slot as usize];
+                let owner = f.owner;
+                if f.prefetched {
+                    f.prefetched = false;
                     self.stats.readahead_hit_blocks += 1;
                     out.readahead_hit_blocks += 1;
                 }
-                self.touch(key);
+                self.touch_slot(slot);
+                if self.track_owners {
+                    self.per_owner.entry(owner).or_default().touch(key);
+                }
                 if let Some(start) = run_start.take() {
                     out.fetches.push(ByteRange {
                         file_id,
@@ -379,7 +564,7 @@ impl BlockCache {
             let mut pf_run: Option<u64> = None;
             for b in pf_first..=pf_last {
                 let key = (file_id, b);
-                if self.entries.contains_key(&key) {
+                if self.index.contains_key(&key) {
                     if let Some(start) = pf_run.take() {
                         out.prefetch.push(ByteRange {
                             file_id,
@@ -432,16 +617,24 @@ impl BlockCache {
         for b in first..=last {
             let key = (file_id, b);
             self.stats.accessed_blocks += 1;
-            if let Some(e) = self.entries.get_mut(&key) {
+            if let Some(slot) = self.index.get(&key) {
                 self.stats.hit_blocks += 1;
-                e.prefetched = false;
-                if !write_through && !e.dirty {
-                    e.dirty = true;
-                    e.dirty_since = now;
+                let f = &mut self.frames[slot as usize];
+                let owner = f.owner;
+                f.prefetched = false;
+                let newly_dirty = !write_through && !f.dirty;
+                if newly_dirty {
+                    f.dirty = true;
+                    f.dirty_since = now;
                     out.dirtied_blocks += 1;
+                }
+                if newly_dirty {
                     self.enqueue_flush(key, now);
                 }
-                self.touch(key);
+                self.touch_slot(slot);
+                if self.track_owners {
+                    self.per_owner.entry(owner).or_default().touch(key);
+                }
             } else {
                 self.stats.miss_blocks += 1;
                 self.install(key, pid, !write_through, false, now, &pinned, &mut out.writebacks);
@@ -492,13 +685,15 @@ impl BlockCache {
                 _ => break,
             }
             let (key, dirty_since, _) = self.flush_q.pop_front().expect("front just observed");
-            match self.entries.get_mut(&key) {
-                Some(e) if e.dirty && e.dirty_since == dirty_since => {
-                    e.dirty = false;
+            // A stale entry — evicted, already flushed, or re-dirtied —
+            // is silently skipped.
+            if let Some(slot) = self.index.get(&key) {
+                let f = &mut self.frames[slot as usize];
+                if f.dirty && f.dirty_since == dirty_since {
+                    f.dirty = false;
                     blocks.push(key);
                     budget -= bs;
                 }
-                _ => {} // evicted, already flushed, or re-dirtied: skip stale entry
             }
         }
         let ranges = coalesce(blocks, bs);
@@ -521,16 +716,16 @@ impl BlockCache {
     /// Drain every dirty block regardless of age (end-of-run quiesce).
     pub fn flush_all(&mut self) -> Vec<ByteRange> {
         let bs = self.config.block_size;
-        let mut blocks: Vec<Key> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| e.dirty)
-            .map(|(&k, _)| k)
-            .collect();
-        blocks.sort_unstable();
-        for k in &blocks {
-            self.entries.get_mut(k).expect("listed above").dirty = false;
+        // Freed frames always have `dirty` cleared, so scanning the slab
+        // visits exactly the resident dirty blocks.
+        let mut blocks: Vec<Key> = Vec::new();
+        for f in self.frames.iter_mut() {
+            if f.dirty {
+                f.dirty = false;
+                blocks.push(f.key);
+            }
         }
+        blocks.sort_unstable();
         self.flush_q.clear();
         let ranges = coalesce(blocks, bs);
         for r in &ranges {

@@ -32,8 +32,9 @@ pub use batch_queue::{BatchMachine, Job, JobOutcome, QueueDef};
 pub use buffer_cache::{BlockCache, CacheConfig, CacheStats, WritePolicy};
 pub use fs_map::{measure as measure_amplification, translate as translate_to_physical, Amplification, FsConfig, FsLayout};
 pub use experiments::{
-    ablations, app_trace, claims, extras, figures, nplus1, par_sweep, render, serial_sweep,
-    tables, thread_count, Scale,
+    ablations, app_events, app_trace, claims, extras, figures, nplus1, par_sweep, render,
+    scaled_spec, serial_sweep, tables, thread_count, Scale, StoreFootprint, TraceArtifact,
+    TraceStore,
 };
 pub use iosim::{CacheTier, SchedParams, SimConfig, SimReport, Simulation};
 pub use iotrace::{
@@ -114,7 +115,7 @@ impl Study {
         let trace =
             experiments::app_trace(self.kind, 1, self.seed, experiments::Scale(self.scale));
         if !self.through_procstat {
-            return trace;
+            return trace.trace().clone();
         }
         let pipe = Pipe::new();
         let mut shim = LibraryShim::new(ShimConfig::default(), pipe.clone());
@@ -125,7 +126,7 @@ impl Study {
             .filter(|i| matches!(i, TraceItem::Comment(_)))
             .cloned()
             .collect();
-        for e in trace.events() {
+        for e in trace.trace().events() {
             shim.on_io(*e);
         }
         shim.close_all();
@@ -221,21 +222,28 @@ impl CampaignBuilder {
     }
 
     /// Run the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pid or a custom trace's file ids overflow the
+    /// simulator's 16-bit namespaces (see [`iosim::AddProcessError`]);
+    /// the builder's own numbering never does.
     pub fn run(self) -> SimReport {
         let mut sim = Simulation::new(self.config);
         let mut pid = 1u32;
         for (i, kind) in self.apps.iter().enumerate() {
-            let trace = experiments::app_trace(
+            let events = experiments::app_events(
                 *kind,
                 pid,
                 self.seed + i as u64,
                 experiments::Scale(self.scale),
             );
-            sim.add_process(pid, format!("{}#{}", kind.name(), i + 1), &trace);
+            sim.add_process_shared(pid, format!("{}#{}", kind.name(), i + 1), events)
+                .expect("valid process");
             pid += 1;
         }
         for (name, trace) in &self.traces {
-            sim.add_process(pid, name.clone(), trace);
+            sim.add_process(pid, name.clone(), trace).expect("valid process");
             pid += 1;
         }
         sim.run()

@@ -5,7 +5,7 @@
 use crate::figures::two_venus_report;
 use crate::par_sweep::par_sweep;
 use crate::render::{num, pct, TextTable};
-use crate::runner::{app_trace, Scale};
+use crate::runner::{app_events, Scale};
 use buffer_cache::WritePolicy;
 use iosim::{SimConfig, Simulation};
 use serde::{Deserialize, Serialize};
@@ -97,8 +97,10 @@ pub fn quantum_ablation(scale: Scale, seed: u64) -> AblationSweep {
         let mut config = SimConfig::buffered(32 * MB);
         config.sched.quantum = SimDuration::from_millis(ms);
         let mut sim = Simulation::new(config);
-        sim.add_process(1, "venus#1", &app_trace(AppKind::Venus, 1, seed, scale));
-        sim.add_process(2, "venus#2", &app_trace(AppKind::Venus, 2, seed + 1, scale));
+        sim.add_process_shared(1, "venus#1", app_events(AppKind::Venus, 1, seed, scale))
+            .expect("valid process");
+        sim.add_process_shared(2, "venus#2", app_events(AppKind::Venus, 2, seed + 1, scale))
+            .expect("valid process");
         let r = sim.run();
         AblationSweep::point(format!("quantum {ms} ms"), &r)
     });
@@ -128,8 +130,10 @@ pub fn queueing_ablation(scale: Scale, seed: u64) -> QueueingAblation {
         let mut config = SimConfig::buffered(32 * MB);
         config.disk = if queueing { DiskParams::ymp_with_queueing() } else { DiskParams::ymp() };
         let mut sim = Simulation::new(config);
-        sim.add_process(1, "venus#1", &app_trace(AppKind::Venus, 1, seed, scale));
-        sim.add_process(2, "venus#2", &app_trace(AppKind::Venus, 2, seed + 1, scale));
+        sim.add_process_shared(1, "venus#1", app_events(AppKind::Venus, 1, seed, scale))
+            .expect("valid process");
+        sim.add_process_shared(2, "venus#2", app_events(AppKind::Venus, 2, seed + 1, scale))
+            .expect("valid process");
         sim.run()
     });
     let q = reports.pop().expect("two variants");

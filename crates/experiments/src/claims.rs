@@ -3,7 +3,7 @@
 
 use crate::figures::two_venus_report;
 use crate::render::{num, pct, TextTable};
-use crate::runner::{app_trace, Scale};
+use crate::runner::{app_events, Scale};
 use buffer_cache::WritePolicy;
 use iosim::{SimConfig, Simulation};
 use serde::{Deserialize, Serialize};
@@ -73,7 +73,8 @@ pub struct Claim2 {
 pub fn claim2(scale: Scale, seed: u64) -> Claim2 {
     let apps = crate::par_sweep::par_sweep(&ALL_APPS, |&kind| {
         let mut sim = Simulation::new(SimConfig::ssd());
-        sim.add_process(1, kind.name(), &app_trace(kind, 1, seed, scale));
+        sim.add_process_shared(1, kind.name(), app_events(kind, 1, seed, scale))
+            .expect("valid process");
         let r = sim.run();
         SsdUtilization {
             app: kind.name().to_string(),
@@ -98,7 +99,8 @@ pub struct Claim3 {
 /// Check C3.
 pub fn claim3(scale: Scale, seed: u64) -> Claim3 {
     let mut sim = Simulation::new(SimConfig::buffered(8 * MB));
-    sim.add_process(1, "gcm", &app_trace(AppKind::Gcm, 1, seed, scale));
+    sim.add_process_shared(1, "gcm", app_events(AppKind::Gcm, 1, seed, scale))
+        .expect("valid process");
     let r = sim.run();
     Claim3 { gcm_idle_secs: r.idle_secs(), holds: r.idle_secs() < 3.0 }
 }
@@ -122,8 +124,10 @@ pub fn claim4(scale: Scale, seed: u64) -> Claim4 {
         let mut config = SimConfig::buffered(32 * MB);
         config.cache.as_mut().expect("cache").per_process_cap_blocks = cap;
         let mut sim = Simulation::new(config);
-        sim.add_process(1, "venus#1", &app_trace(AppKind::Venus, 1, seed, scale));
-        sim.add_process(2, "venus#2", &app_trace(AppKind::Venus, 2, seed + 1, scale));
+        sim.add_process_shared(1, "venus#1", app_events(AppKind::Venus, 1, seed, scale))
+            .expect("valid process");
+        sim.add_process_shared(2, "venus#2", app_events(AppKind::Venus, 2, seed + 1, scale))
+            .expect("valid process");
         sim.run()
     };
     let uncapped = run(None).idle_secs();
@@ -167,7 +171,8 @@ pub fn claim5(scale: Scale, seed: u64) -> Claim5 {
         // don't masquerade as reuse.
         config.cache.as_mut().expect("cache").read_ahead = false;
         let mut sim = Simulation::new(config);
-        sim.add_process(1, kind.name(), &app_trace(kind, 1, seed, scale));
+        sim.add_process_shared(1, kind.name(), app_events(kind, 1, seed, scale))
+            .expect("valid process");
         let r = sim.run();
         Absorption {
             app: kind.name().to_string(),

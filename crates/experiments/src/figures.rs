@@ -3,6 +3,7 @@
 use crate::par_sweep::par_sweep;
 use crate::render::ascii_plot;
 use crate::runner::{app_trace, Scale};
+use crate::trace_store::TraceStore;
 use buffer_cache::WritePolicy;
 use iosim::{SimConfig, SimReport, Simulation};
 use serde::{Deserialize, Serialize};
@@ -88,8 +89,33 @@ pub fn two_venus(cache_mb: u64, scale: Scale, seed: u64) -> TwoVenusFigure {
     summarize_two_venus(cache_mb, &report)
 }
 
-/// The underlying simulation, exposed for claims and ablations.
+/// The underlying simulation, exposed for claims and ablations. Traces
+/// come from the process-wide [`TraceStore`], so repeated calls (e.g. a
+/// 14-point cache sweep) replay the same shared slices with zero copies.
 pub fn two_venus_report(
+    cache_bytes: u64,
+    block_size: u64,
+    read_ahead: bool,
+    write_policy: WritePolicy,
+    scale: Scale,
+    seed: u64,
+) -> SimReport {
+    two_venus_report_in(
+        TraceStore::global(),
+        cache_bytes,
+        block_size,
+        read_ahead,
+        write_policy,
+        scale,
+        seed,
+    )
+}
+
+/// [`two_venus_report`] against an explicit store — benches use this to
+/// control cold vs warm memoization.
+#[allow(clippy::too_many_arguments)]
+pub fn two_venus_report_in(
+    store: &TraceStore,
     cache_bytes: u64,
     block_size: u64,
     read_ahead: bool,
@@ -105,8 +131,10 @@ pub fn two_venus_report(
         c.write_policy = write_policy;
     }
     let mut sim = Simulation::new(config);
-    sim.add_process(1, "venus#1", &app_trace(AppKind::Venus, 1, seed, scale));
-    sim.add_process(2, "venus#2", &app_trace(AppKind::Venus, 2, seed + 1, scale));
+    sim.add_process_shared(1, "venus#1", store.events(AppKind::Venus, 1, seed, scale))
+        .expect("valid process");
+    sim.add_process_shared(2, "venus#2", store.events(AppKind::Venus, 2, seed + 1, scale))
+        .expect("valid process");
     sim.run()
 }
 
@@ -194,9 +222,15 @@ fn fig8_jobs() -> Vec<(u64, u64)> {
 /// 8 KB blocks. Fans the sweep out over [`par_sweep`]; results stay in
 /// grid order regardless of which point finishes first.
 pub fn fig8(scale: Scale, seed: u64) -> Fig8Result {
+    fig8_in(TraceStore::global(), scale, seed)
+}
+
+/// [`fig8`] against an explicit trace store (cold/warm bench control).
+pub fn fig8_in(store: &TraceStore, scale: Scale, seed: u64) -> Fig8Result {
     let jobs = fig8_jobs();
     let points = par_sweep(&jobs, |&(cache_mb, block)| {
-        let r = two_venus_report(
+        let r = two_venus_report_in(
+            store,
             cache_mb * MB,
             block,
             true,
@@ -214,7 +248,8 @@ pub fn fig8(scale: Scale, seed: u64) -> Fig8Result {
     });
     // No-idle baseline: busy time of any run (identical CPU demand).
     let baseline = {
-        let r = two_venus_report(256 * MB, 4096, true, WritePolicy::WriteBehind, scale, seed);
+        let r =
+            two_venus_report_in(store, 256 * MB, 4096, true, WritePolicy::WriteBehind, scale, seed);
         r.cpu_busy.as_secs_f64()
     };
     Fig8Result { points, no_idle_baseline_secs: baseline }

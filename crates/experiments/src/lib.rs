@@ -26,6 +26,8 @@ pub mod par_sweep;
 pub mod render;
 pub mod runner;
 pub mod tables;
+pub mod trace_store;
 
 pub use par_sweep::{apply_threads_flag, par_sweep, serial_sweep, thread_count};
-pub use runner::{app_trace, scaled_spec, Scale};
+pub use runner::{app_events, app_trace, scaled_spec, Scale};
+pub use trace_store::{StoreFootprint, TraceArtifact, TraceStore};

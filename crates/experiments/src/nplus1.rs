@@ -14,6 +14,7 @@ use iotrace::{Direction, IoEvent, Trace};
 use serde::{Deserialize, Serialize};
 use sim_core::units::KB;
 use sim_core::{SimDuration, SimRng, SimTime};
+use std::sync::Arc;
 
 /// One (CPUs, jobs) measurement.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -92,6 +93,9 @@ fn typical_job(pid: u32, seed: u64, scale: Scale) -> Trace {
 /// each job a "typical" (mostly in-memory) program. Points fan out over
 /// [`crate::par_sweep::par_sweep`]; each point's job traces derive only
 /// from `(seed, job index)`, so results are identical to a serial run.
+///
+/// Job `j`'s trace is the same at every grid point, so the fleet is
+/// generated once up front and every point replays the shared slices.
 pub fn nplus1(cpu_counts: &[usize], scale: Scale, seed: u64) -> NPlusOneResult {
     let mut grid: Vec<(usize, usize)> = Vec::new();
     for &cpus in cpu_counts {
@@ -99,6 +103,13 @@ pub fn nplus1(cpu_counts: &[usize], scale: Scale, seed: u64) -> NPlusOneResult {
             grid.push((cpus, jobs));
         }
     }
+    let max_jobs = grid.iter().map(|&(_, jobs)| jobs).max().unwrap_or(0);
+    let fleet: Vec<Arc<[IoEvent]>> = (0..max_jobs)
+        .map(|j| {
+            let pid = (j + 1) as u32;
+            typical_job(pid, seed + j as u64, scale).events().copied().collect()
+        })
+        .collect();
     let points = crate::par_sweep::par_sweep(&grid, |&(cpus, jobs)| {
         // No cache: every read pays the disk, giving the steady ~85 %
         // duty cycle the rule presumes.
@@ -107,13 +118,10 @@ pub fn nplus1(cpu_counts: &[usize], scale: Scale, seed: u64) -> NPlusOneResult {
         // Enough spindles that the disks never serialize the fleet.
         config.n_disks = 16;
         let mut sim = Simulation::new(config);
-        for j in 0..jobs {
+        for (j, events) in fleet.iter().take(jobs).enumerate() {
             let pid = (j + 1) as u32;
-            sim.add_process(
-                pid,
-                format!("job#{pid}"),
-                &typical_job(pid, seed + j as u64, scale),
-            );
+            sim.add_process_shared(pid, format!("job#{pid}"), events.clone())
+                .expect("valid process");
         }
         let r = sim.run();
         NPlusOnePoint {

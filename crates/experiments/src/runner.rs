@@ -1,9 +1,11 @@
 //! Shared experiment plumbing: trace generation (optionally scaled down
 //! for fast CI runs) and the canonical simulator setups.
 
-use iotrace::Trace;
+use crate::trace_store::{TraceArtifact, TraceStore};
+use iotrace::IoEvent;
 use sim_core::SimDuration;
-use workload::{generate, AppKind, AppSpec};
+use std::sync::Arc;
+use workload::{AppKind, AppSpec};
 
 /// Run-length scaling. `Scale::FULL` reproduces the paper's full run
 /// lengths; `Scale::quick(k)` divides cycle counts and CPU time by `k`
@@ -47,9 +49,18 @@ pub fn scaled_spec(kind: AppKind, pid: u32, scale: Scale) -> AppSpec {
     spec
 }
 
-/// Generate the (scaled) trace for one application instance.
-pub fn app_trace(kind: AppKind, pid: u32, seed: u64, scale: Scale) -> Trace {
-    generate(&scaled_spec(kind, pid, scale), seed)
+/// The (scaled) trace for one application instance, memoized in the
+/// process-wide [`TraceStore`]. Derefs to `&Trace` for analysis
+/// consumers; use [`app_events`] for the zero-copy replay handle.
+pub fn app_trace(kind: AppKind, pid: u32, seed: u64, scale: Scale) -> Arc<TraceArtifact> {
+    TraceStore::global().artifact(kind, pid, seed, scale)
+}
+
+/// The shared replay slice for one application instance, memoized in the
+/// process-wide [`TraceStore`]. Feed it to
+/// `Simulation::add_process_shared` — no per-process copy is made.
+pub fn app_events(kind: AppKind, pid: u32, seed: u64, scale: Scale) -> Arc<[IoEvent]> {
+    TraceStore::global().events(kind, pid, seed, scale)
 }
 
 #[cfg(test)]
@@ -76,7 +87,7 @@ mod tests {
     #[test]
     fn full_scale_is_identity() {
         let a = app_trace(AppKind::Ccm, 2, 9, Scale::FULL);
-        let b = generate(&AppKind::Ccm.spec(2), 9);
-        assert_eq!(a, b);
+        let b = workload::generate(&AppKind::Ccm.spec(2), 9);
+        assert_eq!(a.trace(), &b);
     }
 }

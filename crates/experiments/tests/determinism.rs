@@ -10,8 +10,9 @@
 
 use buffer_cache::WritePolicy;
 use experiments::figures::two_venus_report;
-use experiments::{par_sweep, serial_sweep, Scale};
-use iosim::SimReport;
+use experiments::{ablations, par_sweep, scaled_spec, serial_sweep, Scale, TraceStore};
+use iosim::{SimConfig, SimReport, Simulation};
+use workload::{generate, AppKind};
 
 const MB: u64 = 1024 * 1024;
 
@@ -57,4 +58,110 @@ fn parallel_sweep_is_stable_across_repeat_runs() {
     let a_json = serde_json::to_string(&a).expect("serialize");
     let b_json = serde_json::to_string(&b).expect("serialize");
     assert_eq!(a_json, b_json, "repeat parallel sweeps must be byte-identical");
+}
+
+/// The two-venus setup with traces generated *fresh* at every call,
+/// bypassing the memoizing [`TraceStore`] entirely — the pre-store code
+/// path, kept here as the reference the store must match byte-for-byte.
+fn fresh_two_venus_report(
+    cache_bytes: u64,
+    block_size: u64,
+    read_ahead: bool,
+    write_policy: WritePolicy,
+    scale: Scale,
+    seed: u64,
+) -> SimReport {
+    let mut config = SimConfig::buffered(cache_bytes);
+    {
+        let c = config.cache.as_mut().expect("buffered config has a cache");
+        c.block_size = block_size;
+        c.read_ahead = read_ahead;
+        c.write_policy = write_policy;
+    }
+    let mut sim = Simulation::new(config);
+    sim.add_process(1, "venus#1", &generate(&scaled_spec(AppKind::Venus, 1, scale), seed))
+        .expect("valid process");
+    sim.add_process(2, "venus#2", &generate(&scaled_spec(AppKind::Venus, 2, scale), seed + 1))
+        .expect("valid process");
+    sim.run()
+}
+
+fn fresh_point(&(mb, block): &(u64, u64)) -> SimReport {
+    fresh_two_venus_report(mb * MB, block, true, WritePolicy::WriteBehind, Scale(32), 42)
+}
+
+#[test]
+fn memoized_store_matches_fresh_generation_at_one_thread() {
+    let jobs = grid();
+    let fresh = serial_sweep(&jobs, fresh_point);
+    let memoized = serial_sweep(&jobs, run_point);
+    for (i, (f, m)) in fresh.iter().zip(memoized.iter()).enumerate() {
+        let f_json = serde_json::to_string(f).expect("serialize fresh report");
+        let m_json = serde_json::to_string(m).expect("serialize memoized report");
+        assert_eq!(
+            f_json, m_json,
+            "sweep point {i} ({:?}) diverges between fresh and memoized traces",
+            jobs[i]
+        );
+    }
+}
+
+#[test]
+fn memoized_store_matches_fresh_generation_at_n_threads() {
+    let jobs = grid();
+    let fresh = serial_sweep(&jobs, fresh_point);
+    // A cold private store exercises concurrent first-request memoization
+    // inside the parallel sweep; the global store then re-checks the
+    // warm path.
+    let cold = TraceStore::new();
+    let memoized_cold = par_sweep(&jobs, |&(mb, block)| {
+        experiments::figures::two_venus_report_in(
+            &cold,
+            mb * MB,
+            block,
+            true,
+            WritePolicy::WriteBehind,
+            Scale(32),
+            42,
+        )
+    });
+    let memoized_warm = par_sweep(&jobs, run_point);
+    let fresh_json = serde_json::to_string(&fresh).expect("serialize");
+    assert_eq!(
+        fresh_json,
+        serde_json::to_string(&memoized_cold).expect("serialize"),
+        "cold-store parallel sweep diverges from fresh serial generation"
+    );
+    assert_eq!(
+        fresh_json,
+        serde_json::to_string(&memoized_warm).expect("serialize"),
+        "warm-store parallel sweep diverges from fresh serial generation"
+    );
+}
+
+#[test]
+fn ablations_match_fresh_generation() {
+    // The quantum ablation builds its simulations from store-shared
+    // slices; rebuild the same three runs with freshly generated traces
+    // and compare the serialized sweeps byte-for-byte.
+    let (scale, seed) = (Scale(32), 21);
+    let memoized = ablations::quantum_ablation(scale, seed);
+    let quanta = [1u64, 16, 100];
+    let fresh_points = serial_sweep(&quanta, |&ms| {
+        let mut config = SimConfig::buffered(32 * MB);
+        config.sched.quantum = sim_core::SimDuration::from_millis(ms);
+        let mut sim = Simulation::new(config);
+        sim.add_process(1, "venus#1", &generate(&scaled_spec(AppKind::Venus, 1, scale), seed))
+            .expect("valid process");
+        sim.add_process(2, "venus#2", &generate(&scaled_spec(AppKind::Venus, 2, scale), seed + 1))
+            .expect("valid process");
+        let r = sim.run();
+        (r.idle_secs(), r.utilization(), r.wall_secs())
+    });
+    assert_eq!(memoized.points.len(), fresh_points.len());
+    for (m, (idle, util, wall)) in memoized.points.iter().zip(fresh_points) {
+        assert_eq!(m.idle_secs.to_bits(), idle.to_bits(), "{}", m.variant);
+        assert_eq!(m.utilization.to_bits(), util.to_bits(), "{}", m.variant);
+        assert_eq!(m.wall_secs.to_bits(), wall.to_bits(), "{}", m.variant);
+    }
 }

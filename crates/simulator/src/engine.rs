@@ -26,11 +26,44 @@ use crate::config::SimConfig;
 use crate::metrics::{ProcessMetrics, SimReport};
 use crate::process::{ProcState, ProcessState};
 use buffer_cache::{BlockCache, ByteRange};
-use iotrace::{Direction, IoEvent, Synchrony, Trace, TraceItem};
+use iotrace::{Direction, IoEvent, Synchrony, Trace};
 use rustc_hash::FxHashMap;
 use sim_core::{EventQueue, RateSeries, SimDuration, SimTime};
 use storage_model::{AccessKind, BlockDevice, DiskModel};
 use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Why a process could not be added to a [`Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddProcessError {
+    /// The pid does not fit the 16-bit namespacing width.
+    PidTooWide(u32),
+    /// A process with this pid is already registered.
+    DuplicatePid(u32),
+    /// A trace event's file id does not fit below the pid namespace bits.
+    FileIdTooWide {
+        /// The offending process.
+        pid: u32,
+        /// The out-of-range file id.
+        file_id: u32,
+    },
+}
+
+impl std::fmt::Display for AddProcessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            AddProcessError::PidTooWide(pid) => {
+                write!(f, "pid {pid} exceeds the 16-bit namespacing width")
+            }
+            AddProcessError::DuplicatePid(pid) => write!(f, "duplicate pid {pid}"),
+            AddProcessError::FileIdTooWide { pid, file_id } => {
+                write!(f, "pid {pid}: file id {file_id} exceeds the 16-bit namespacing width")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AddProcessError {}
 
 #[derive(Debug, Clone, Copy)]
 enum Ev {
@@ -74,6 +107,10 @@ pub struct Simulation {
     pending_blocks: FxHashMap<(u32, u64), SimTime>,
     flush_busy: Vec<bool>,
     flush_queues: Vec<VecDeque<ByteRange>>,
+    /// Running total of ranges across all `flush_queues`, maintained on
+    /// push/pop so the refill loop does not re-sum every queue per
+    /// iteration.
+    flush_queued: usize,
     flush_timer_armed: bool,
     // metrics
     busy: SimDuration,
@@ -105,6 +142,7 @@ impl Simulation {
             pending_blocks: FxHashMap::default(),
             flush_busy: vec![false; config.n_disks],
             flush_queues: (0..config.n_disks).map(|_| VecDeque::new()).collect(),
+            flush_queued: 0,
             flush_timer_armed: false,
             busy: SimDuration::ZERO,
             overhead: SimDuration::ZERO,
@@ -118,30 +156,40 @@ impl Simulation {
 
     /// Add a process replaying `trace`. File ids are namespaced by the
     /// given `pid`, which must be unique and < 65536 (as must the trace's
-    /// file ids).
-    pub fn add_process(&mut self, pid: u32, name: impl Into<String>, trace: &Trace) {
-        assert!(pid < 1 << 16, "pid {pid} exceeds the namespacing width");
-        assert!(
-            self.procs.iter().all(|p| p.pid != pid),
-            "duplicate pid {pid}"
-        );
-        let remapped = Trace::from_items(
-            trace
-                .items()
-                .iter()
-                .map(|item| match item {
-                    TraceItem::Io(e) => {
-                        assert!(e.file_id < 1 << 16, "file id {} too wide", e.file_id);
-                        let mut e = *e;
-                        e.file_id |= pid << 16;
-                        e.process_id = pid;
-                        TraceItem::Io(e)
-                    }
-                    c => c.clone(),
-                })
-                .collect(),
-        );
-        self.procs.push(ProcessState::new(pid, name, &remapped));
+    /// file ids). Copies the trace's events once; for the zero-copy path
+    /// shared across sweep points use [`Simulation::add_process_shared`].
+    pub fn add_process(
+        &mut self,
+        pid: u32,
+        name: impl Into<String>,
+        trace: &Trace,
+    ) -> Result<(), AddProcessError> {
+        self.add_process_shared(pid, name, trace.events().copied().collect())
+    }
+
+    /// Add a process replaying a shared, immutable event slice — the
+    /// zero-copy path. The slice is validated but never copied or
+    /// remapped up front; the pid/file-id namespacing
+    /// (`file_id |= pid << 16`) is applied per event during replay, so
+    /// one `Arc<[IoEvent]>` can back any number of processes and
+    /// concurrent simulations.
+    pub fn add_process_shared(
+        &mut self,
+        pid: u32,
+        name: impl Into<String>,
+        events: Arc<[IoEvent]>,
+    ) -> Result<(), AddProcessError> {
+        if pid >= 1 << 16 {
+            return Err(AddProcessError::PidTooWide(pid));
+        }
+        if self.procs.iter().any(|p| p.pid == pid) {
+            return Err(AddProcessError::DuplicatePid(pid));
+        }
+        if let Some(e) = events.iter().find(|e| e.file_id >= 1 << 16) {
+            return Err(AddProcessError::FileIdTooWide { pid, file_id: e.file_id });
+        }
+        self.procs.push(ProcessState::new(pid, name, events));
+        Ok(())
     }
 
     fn placement(&mut self, file: u32) -> Placement {
@@ -322,9 +370,7 @@ impl Simulation {
         let Some(cache) = self.cache.as_mut() else { return };
         // Refill per-disk queues while ready dirty data exists and some
         // queue is short.
-        while cache.has_flushable(now)
-            && self.flush_queues.iter().map(|q| q.len()).sum::<usize>() < 4 * self.config.n_disks
-        {
+        while cache.has_flushable(now) && self.flush_queued < 4 * self.config.n_disks {
             let batch = cache.take_flush_batch(now, self.config.flush_batch);
             if batch.is_empty() {
                 break;
@@ -332,6 +378,7 @@ impl Simulation {
             for r in batch {
                 let disk = (r.file_id as usize) % self.config.n_disks;
                 self.flush_queues[disk].push_back(r);
+                self.flush_queued += 1;
             }
         }
         // Arm the aging timer for delayed writes.
@@ -355,6 +402,7 @@ impl Simulation {
             return;
         }
         let Some(r) = self.flush_queues[disk].pop_front() else { return };
+        self.flush_queued -= 1;
         let d = self.device_op(now, AccessKind::Write, r.file_id, r.offset, r.length);
         self.flush_busy[disk] = true;
         self.queue.schedule(now + d, Ev::FlushDone { disk });
@@ -456,6 +504,7 @@ impl Simulation {
         let end = self.wall_end;
         let queued: Vec<ByteRange> =
             self.flush_queues.iter_mut().flat_map(|q| q.drain(..)).collect();
+        self.flush_queued = 0;
         for r in queued {
             let disk = (r.file_id as usize) % self.config.n_disks;
             let p = self.placements.get(&r.file_id).copied();
@@ -555,7 +604,7 @@ mod tests {
     #[test]
     fn single_reader_conserves_time() {
         let mut sim = Simulation::new(SimConfig::buffered(8 * MB));
-        sim.add_process(1, "reader", &reader_trace(1, 100, 64 * KB, SimDuration::from_millis(5)));
+        sim.add_process(1, "reader", &reader_trace(1, 100, 64 * KB, SimDuration::from_millis(5))).expect("valid process");
         let r = sim.run();
         r.check_time_conservation();
         assert_eq!(r.processes.len(), 1);
@@ -567,8 +616,8 @@ mod tests {
     fn deterministic_across_runs() {
         let run = || {
             let mut sim = Simulation::new(SimConfig::buffered(8 * MB));
-            sim.add_process(1, "a", &reader_trace(1, 200, 64 * KB, SimDuration::from_millis(2)));
-            sim.add_process(2, "b", &writer_trace(2, 200, 64 * KB, SimDuration::from_millis(2)));
+            sim.add_process(1, "a", &reader_trace(1, 200, 64 * KB, SimDuration::from_millis(2))).expect("valid process");
+            sim.add_process(2, "b", &writer_trace(2, 200, 64 * KB, SimDuration::from_millis(2))).expect("valid process");
             let r = sim.run();
             (r.wall_end, r.cpu_busy, r.cpu_idle, r.disk_totals.total_bytes())
         };
@@ -600,11 +649,11 @@ mod tests {
             t
         };
         let mut cached = Simulation::new(SimConfig::buffered(16 * MB));
-        cached.add_process(1, "r", &make_trace());
+        cached.add_process(1, "r", &make_trace()).expect("valid process");
         let with_cache = cached.run();
 
         let mut uncached = Simulation::new(SimConfig::uncached());
-        uncached.add_process(1, "r", &make_trace());
+        uncached.add_process(1, "r", &make_trace()).expect("valid process");
         let without = uncached.run();
 
         assert!(
@@ -622,13 +671,13 @@ mod tests {
         let mut wb_cfg = SimConfig::buffered(64 * MB);
         wb_cfg.cache.as_mut().unwrap().write_policy = WritePolicy::WriteBehind;
         let mut wb = Simulation::new(wb_cfg);
-        wb.add_process(1, "w", &trace);
+        wb.add_process(1, "w", &trace).expect("valid process");
         let wb_r = wb.run();
 
         let mut wt_cfg = SimConfig::buffered(64 * MB);
         wt_cfg.cache.as_mut().unwrap().write_policy = WritePolicy::WriteThrough;
         let mut wt = Simulation::new(wt_cfg);
-        wt.add_process(1, "w", &trace);
+        wt.add_process(1, "w", &trace).expect("valid process");
         let wt_r = wt.run();
 
         assert!(
@@ -645,13 +694,13 @@ mod tests {
         let mut ra_cfg = SimConfig::buffered(64 * MB);
         ra_cfg.cache.as_mut().unwrap().read_ahead = true;
         let mut ra = Simulation::new(ra_cfg);
-        ra.add_process(1, "r", &trace);
+        ra.add_process(1, "r", &trace).expect("valid process");
         let ra_r = ra.run();
 
         let mut nra_cfg = SimConfig::buffered(64 * MB);
         nra_cfg.cache.as_mut().unwrap().read_ahead = false;
         let mut nra = Simulation::new(nra_cfg);
-        nra.add_process(1, "r", &trace);
+        nra.add_process(1, "r", &trace).expect("valid process");
         let nra_r = nra.run();
 
         assert!(
@@ -675,7 +724,7 @@ mod tests {
             t.push(e);
         }
         let mut sim = Simulation::new(SimConfig::buffered(4 * MB)); // tiny cache
-        sim.add_process(1, "les-like", &t);
+        sim.add_process(1, "les-like", &t).expect("valid process");
         let r = sim.run();
         assert_eq!(r.processes[0].blocked_time, SimDuration::ZERO);
         assert!(r.utilization() > 0.95, "async app should keep CPU busy: {}", r.utilization());
@@ -689,13 +738,13 @@ mod tests {
         let t2 = reader_trace(2, 300, 256 * KB, SimDuration::from_millis(5));
         let solo = {
             let mut sim = Simulation::new(SimConfig::buffered(4 * MB));
-            sim.add_process(1, "solo", &t1);
+            sim.add_process(1, "solo", &t1).expect("valid process");
             sim.run()
         };
         let duo = {
             let mut sim = Simulation::new(SimConfig::buffered(4 * MB));
-            sim.add_process(1, "a", &t1);
-            sim.add_process(2, "b", &t2);
+            sim.add_process(1, "a", &t1).expect("valid process");
+            sim.add_process(2, "b", &t2).expect("valid process");
             sim.run()
         };
         assert!(
@@ -711,7 +760,7 @@ mod tests {
     #[test]
     fn disk_traffic_is_accounted() {
         let mut sim = Simulation::new(SimConfig::buffered(8 * MB));
-        sim.add_process(1, "w", &writer_trace(1, 100, 64 * KB, SimDuration::from_millis(1)));
+        sim.add_process(1, "w", &writer_trace(1, 100, 64 * KB, SimDuration::from_millis(1))).expect("valid process");
         let r = sim.run();
         // Everything written must reach the disks (flush or quiesce).
         assert_eq!(r.disk_totals.bytes_written, 100 * 64 * KB);
@@ -722,7 +771,7 @@ mod tests {
     #[test]
     fn uncached_reads_hit_disk_every_time() {
         let mut sim = Simulation::new(SimConfig::uncached());
-        sim.add_process(1, "r", &reader_trace(1, 50, 64 * KB, SimDuration::from_millis(1)));
+        sim.add_process(1, "r", &reader_trace(1, 50, 64 * KB, SimDuration::from_millis(1))).expect("valid process");
         let r = sim.run();
         assert_eq!(r.disk_totals.reads, 50);
         assert_eq!(r.disk_totals.bytes_read, 50 * 64 * KB);
@@ -732,12 +781,12 @@ mod tests {
     fn ssd_tier_adds_penalty_but_stays_fast() {
         let trace = reader_trace(1, 200, 256 * KB, SimDuration::from_millis(1));
         let mut mm = Simulation::new(SimConfig::buffered(64 * MB));
-        mm.add_process(1, "r", &trace);
+        mm.add_process(1, "r", &trace).expect("valid process");
         let mm_r = mm.run();
         let mut ssd_cfg = SimConfig::ssd();
         ssd_cfg.cache.as_mut().unwrap().capacity = 64 * MB;
         let mut ssd = Simulation::new(ssd_cfg);
-        ssd.add_process(1, "r", &trace);
+        ssd.add_process(1, "r", &trace).expect("valid process");
         let ssd_r = ssd.run();
         // SSD adds per-access microseconds: slightly slower than main
         // memory, far faster than no cache.
@@ -754,8 +803,8 @@ mod tests {
             let mut cfg = SimConfig::buffered(8 * MB);
             cfg.cache.as_mut().unwrap().per_process_cap_blocks = cap;
             let mut sim = Simulation::new(cfg);
-            sim.add_process(1, "a", &t1);
-            sim.add_process(2, "b", &t2);
+            sim.add_process(1, "a", &t1).expect("valid process");
+            sim.add_process(2, "b", &t2).expect("valid process");
             sim.run()
         };
         let uncapped = run(None);
@@ -800,7 +849,7 @@ mod tests {
         let mut cfg = SimConfig::buffered(64 * MB);
         cfg.cache.as_mut().unwrap().write_policy = buffer_cache::WritePolicy::sprite();
         let mut sim = Simulation::new(cfg);
-        sim.add_process(1, "w", &t);
+        sim.add_process(1, "w", &t).expect("valid process");
         let r = sim.run();
         // All 1 MB of writes reached disk, and the flush traffic lands in
         // the ~30 s bin, not at the end-of-run quiesce (~60 s).
@@ -822,8 +871,8 @@ mod tests {
             let mut cfg = SimConfig::buffered(8 * MB);
             cfg.n_cpus = cpus;
             let mut sim = Simulation::new(cfg);
-            sim.add_process(1, "a", &make(1));
-            sim.add_process(2, "b", &make(2));
+            sim.add_process(1, "a", &make(1)).expect("valid process");
+            sim.add_process(2, "b", &make(2)).expect("valid process");
             let r = sim.run();
             r.check_time_conservation();
             r
@@ -845,18 +894,71 @@ mod tests {
         let mut cfg = SimConfig::buffered(8 * MB);
         cfg.n_cpus = 4;
         let mut sim = Simulation::new(cfg);
-        sim.add_process(1, "solo", &reader_trace(1, 50, 4 * KB, SimDuration::from_millis(10)));
+        sim.add_process(1, "solo", &reader_trace(1, 50, 4 * KB, SimDuration::from_millis(10))).expect("valid process");
         let r = sim.run();
         r.check_time_conservation();
         assert!(r.utilization() <= 0.26, "solo on 4 CPUs: {:.3}", r.utilization());
     }
 
     #[test]
-    #[should_panic(expected = "duplicate pid")]
     fn duplicate_pids_rejected() {
         let mut sim = Simulation::new(SimConfig::default());
         let t = reader_trace(1, 1, KB, SimDuration::from_millis(1));
-        sim.add_process(1, "a", &t);
-        sim.add_process(1, "b", &t);
+        sim.add_process(1, "a", &t).expect("first pid is fine");
+        assert_eq!(sim.add_process(1, "b", &t), Err(AddProcessError::DuplicatePid(1)));
+        // The failed add must not have registered a process.
+        let r = sim.run();
+        assert_eq!(r.processes.len(), 1);
+    }
+
+    #[test]
+    fn wide_pids_and_file_ids_rejected() {
+        let mut sim = Simulation::new(SimConfig::default());
+        let t = reader_trace(1, 1, KB, SimDuration::from_millis(1));
+        assert_eq!(
+            sim.add_process(1 << 16, "wide-pid", &t),
+            Err(AddProcessError::PidTooWide(1 << 16))
+        );
+        let mut wide = Trace::new();
+        let mut e = IoEvent::logical(
+            Direction::Read, 2, 1 << 16, 0, KB, SimTime::ZERO, SimDuration::from_millis(1),
+        );
+        e.file_id = 1 << 16;
+        wide.push(e);
+        assert_eq!(
+            sim.add_process(2, "wide-file", &wide),
+            Err(AddProcessError::FileIdTooWide { pid: 2, file_id: 1 << 16 })
+        );
+        assert!(format!("{}", AddProcessError::DuplicatePid(3)).contains("duplicate pid 3"));
+    }
+
+    #[test]
+    fn shared_slice_replay_matches_per_process_traces() {
+        // Two processes replaying ONE shared slice must behave exactly
+        // like two processes given separate (identical) traces: the
+        // on-the-fly remap keeps their file namespaces disjoint.
+        let trace = reader_trace(1, 150, 128 * KB, SimDuration::from_millis(2));
+        let shared: std::sync::Arc<[IoEvent]> = trace.events().copied().collect();
+        let via_shared = {
+            let mut sim = Simulation::new(SimConfig::buffered(8 * MB));
+            sim.add_process_shared(1, "a", shared.clone()).expect("valid");
+            sim.add_process_shared(2, "b", shared.clone()).expect("valid");
+            sim.run()
+        };
+        let via_traces = {
+            let mut sim = Simulation::new(SimConfig::buffered(8 * MB));
+            sim.add_process(1, "a", &trace).expect("valid");
+            sim.add_process(2, "b", &trace).expect("valid");
+            sim.run()
+        };
+        assert_eq!(via_shared.wall_end, via_traces.wall_end);
+        assert_eq!(via_shared.cpu_idle, via_traces.cpu_idle);
+        assert_eq!(
+            via_shared.disk_totals.total_bytes(),
+            via_traces.disk_totals.total_bytes()
+        );
+        // No cross-process cache sharing: both processes miss on their
+        // own namespaced blocks.
+        assert_eq!(via_shared.cache.hit_blocks, via_traces.cache.hit_blocks);
     }
 }

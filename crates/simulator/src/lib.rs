@@ -36,7 +36,7 @@
 //!     ));
 //! }
 //! let mut sim = Simulation::new(SimConfig::buffered(8 * 1024 * 1024));
-//! sim.add_process(1, "reader", &trace);
+//! sim.add_process(1, "reader", &trace).expect("pid and file ids fit");
 //! let report = sim.run();
 //! report.check_time_conservation();
 //! assert_eq!(report.processes[0].ios_issued, 50);
@@ -50,5 +50,5 @@ pub mod process;
 
 pub use config::{CacheTier, SchedParams, SimConfig};
 pub use process::{ProcState, ProcessState};
-pub use engine::Simulation;
+pub use engine::{AddProcessError, Simulation};
 pub use metrics::{ProcessMetrics, SimReport};

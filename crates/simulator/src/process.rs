@@ -1,7 +1,16 @@
 //! Trace-driven process state.
+//!
+//! A process replays a **shared** `Arc<[IoEvent]>` by cursor. The slice
+//! is immutable and may be handed to many processes (and many concurrent
+//! simulations) at once; the per-process pid/file-id namespacing
+//! (`file_id |= pid << 16`, `process_id = pid`) is applied on the fly in
+//! [`ProcessState::advance`] instead of materializing a remapped copy of
+//! the trace. This is what makes sweep replay zero-copy: one generated
+//! event slice per (app, scale, seed) serves every sweep point.
 
-use iotrace::{IoEvent, Trace};
+use iotrace::IoEvent;
 use sim_core::{SimDuration, SimTime};
+use std::sync::Arc;
 
 /// Where a process is in its lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,12 +28,13 @@ pub enum ProcState {
 /// One simulated process replaying a logical trace.
 #[derive(Debug)]
 pub struct ProcessState {
-    /// Process id (from the trace).
+    /// Process id (namespaces file ids at replay time).
     pub pid: u32,
     /// Human-readable name for reports.
     pub name: String,
-    /// The I/O events to replay, in order.
-    events: Vec<IoEvent>,
+    /// The shared I/O events to replay, in order. Never copied or
+    /// mutated; remapping happens per event in [`ProcessState::advance`].
+    events: Arc<[IoEvent]>,
     /// Index of the next event to issue.
     cursor: usize,
     /// Compute remaining before the next event may issue.
@@ -44,10 +54,9 @@ pub struct ProcessState {
 }
 
 impl ProcessState {
-    /// Build from a trace; the process starts Ready with the first
-    /// event's `processTime` as its initial compute.
-    pub fn new(pid: u32, name: impl Into<String>, trace: &Trace) -> ProcessState {
-        let events: Vec<IoEvent> = trace.events().cloned().collect();
+    /// Build from a shared event slice; the process starts Ready with the
+    /// first event's `processTime` as its initial compute.
+    pub fn new(pid: u32, name: impl Into<String>, events: Arc<[IoEvent]>) -> ProcessState {
         let first_compute =
             events.first().map(|e| e.process_time).unwrap_or(SimDuration::ZERO);
         let state = if events.is_empty() { ProcState::Done } else { ProcState::Ready };
@@ -66,15 +75,28 @@ impl ProcessState {
         }
     }
 
-    /// The event the process will issue once its compute drains.
+    /// Namespace an event into this process: file ids get the pid tag so
+    /// two processes replaying the same slice never share cached data.
+    #[inline]
+    fn remap(&self, mut e: IoEvent) -> IoEvent {
+        e.file_id |= self.pid << 16;
+        e.process_id = self.pid;
+        e
+    }
+
+    /// The event the process will issue once its compute drains, **as
+    /// stored** (un-remapped: `file_id`/`process_id` are the generator's).
+    /// Use only fields the remap does not touch (length, direction,
+    /// timing); [`ProcessState::advance`] returns the namespaced event.
     pub fn next_event(&self) -> Option<&IoEvent> {
         self.events.get(self.cursor)
     }
 
     /// Consume the next event (it has just been issued) and load the
-    /// compute gap preceding the following one. Returns the issued event.
+    /// compute gap preceding the following one. Returns the issued event
+    /// with the pid/file-id remap applied.
     pub fn advance(&mut self) -> IoEvent {
-        let ev = self.events[self.cursor];
+        let ev = self.remap(self.events[self.cursor]);
         self.cursor += 1;
         self.ios_issued += 1;
         self.compute_remaining = self
@@ -107,25 +129,25 @@ mod tests {
     use super::*;
     use iotrace::Direction;
 
-    fn trace() -> Trace {
-        let mut t = Trace::new();
-        for i in 0..3u64 {
-            t.push(IoEvent::logical(
-                Direction::Read,
-                1,
-                1,
-                i * 512,
-                512,
-                SimTime::from_ticks(i * 1000),
-                SimDuration::from_ticks(100 * (i + 1)),
-            ));
-        }
-        t
+    fn events() -> Arc<[IoEvent]> {
+        (0..3u64)
+            .map(|i| {
+                IoEvent::logical(
+                    Direction::Read,
+                    1,
+                    1,
+                    i * 512,
+                    512,
+                    SimTime::from_ticks(i * 1000),
+                    SimDuration::from_ticks(100 * (i + 1)),
+                )
+            })
+            .collect()
     }
 
     #[test]
     fn replays_in_order_with_compute_gaps() {
-        let mut p = ProcessState::new(1, "t", &trace());
+        let mut p = ProcessState::new(1, "t", events());
         assert_eq!(p.state, ProcState::Ready);
         assert_eq!(p.compute_remaining, SimDuration::from_ticks(100));
         let e1 = p.advance();
@@ -141,15 +163,37 @@ mod tests {
 
     #[test]
     fn empty_trace_is_born_done() {
-        let p = ProcessState::new(1, "empty", &Trace::new());
+        let p = ProcessState::new(1, "empty", Arc::from(Vec::new()));
         assert_eq!(p.state, ProcState::Done);
         assert!(p.exhausted());
         assert!(p.next_event().is_none());
     }
 
     #[test]
+    fn advance_namespaces_file_and_process_ids() {
+        let shared = events();
+        let mut a = ProcessState::new(2, "a", shared.clone());
+        let mut b = ProcessState::new(3, "b", shared.clone());
+        let ea = a.advance();
+        let eb = b.advance();
+        assert_eq!(ea.file_id, 1 | 2 << 16);
+        assert_eq!(ea.process_id, 2);
+        assert_eq!(eb.file_id, 1 | 3 << 16);
+        assert_eq!(eb.process_id, 3);
+        // The shared slice itself is untouched.
+        assert_eq!(shared[0].file_id, 1);
+        assert_eq!(shared[0].process_id, 1);
+    }
+
+    #[test]
+    fn next_event_is_unremapped() {
+        let p = ProcessState::new(5, "t", events());
+        assert_eq!(p.next_event().unwrap().file_id, 1);
+    }
+
+    #[test]
     fn remaining_demand_counts_tail() {
-        let p = ProcessState::new(1, "t", &trace());
+        let p = ProcessState::new(1, "t", events());
         // 100 + 200 + 300 ticks total.
         assert_eq!(p.remaining_cpu_demand(), SimDuration::from_ticks(600));
     }

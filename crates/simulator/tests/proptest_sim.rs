@@ -83,7 +83,7 @@ proptest! {
             let mut sim = Simulation::new(config);
             for (i, plan) in plans.iter().enumerate() {
                 let pid = (i + 1) as u32;
-                sim.add_process(pid, format!("p{pid}"), &build_trace(pid, plan));
+                sim.add_process(pid, format!("p{pid}"), &build_trace(pid, plan)).expect("valid process");
             }
             sim.run()
         };
@@ -143,7 +143,7 @@ proptest! {
             .map(|e| e.length)
             .sum();
         let mut sim = Simulation::new(SimConfig::buffered(16 * 1024 * 1024));
-        sim.add_process(1, "p", &trace);
+        sim.add_process(1, "p", &trace).expect("valid process");
         let r = sim.run();
         let slack = (plan.n_ios + 2) * (plan.io_size + 8 * KB);
         prop_assert!(

@@ -115,7 +115,7 @@ fn cmd_generate(rest: &[String]) -> Result<(), String> {
     let kind = AppKind::from_name(name)
         .ok_or_else(|| format!("unknown app `{name}` (try `mio apps`)"))?;
     let trace = miller_core::app_trace(kind, 1, seed, miller_core::Scale(scale));
-    write_out(&trace, out.as_deref())?;
+    write_out(trace.trace(), out.as_deref())?;
     eprintln!(
         "generated {}: {} records, {:.1} MB of I/O",
         kind.name(),
@@ -241,7 +241,8 @@ fn cmd_simulate(rest: &[String]) -> Result<(), String> {
     let mut sim = Simulation::new(config);
     for (i, path) in args.iter().enumerate() {
         let trace = read_in(path)?;
-        sim.add_process((i + 1) as u32, path.clone(), &trace);
+        sim.add_process((i + 1) as u32, path.clone(), &trace)
+            .map_err(|e| format!("{path}: {e}"))?;
     }
     let r = sim.run();
     println!(
