@@ -13,26 +13,71 @@
 //! overrides the scale divisor (default 16; CI uses a higher divisor
 //! for a quicker run).
 //!
+//! The engine-phase microbenches (`event_queue_churn`, `cache_ops_churn`,
+//! `device_model_access`) time each hot-path component in isolation at
+//! workload-representative parameters; `1e9 / events_per_sec` gives the
+//! ns/op share each phase contributes to a simulated I/O, making the next
+//! bottleneck visible straight from `BENCH_sim.json`. The binary also
+//! runs under a counting global allocator and reports `alloc_per_event` —
+//! the marginal heap allocations per simulated I/O, measured by
+//! differencing two warm single-point runs — which must stay at zero.
+//!
 //! `--baseline <path>` compares this run against a previously written
 //! `BENCH_sim.json` and exits non-zero if any shared sweep's
-//! `events_per_sec` regressed by more than 30 %. The comparison is
-//! skipped (with a note) when the baseline was recorded at a different
-//! thread count or scale, since rates are only comparable like-for-like.
+//! `events_per_sec` regressed by more than 30 %, or if the request path
+//! started allocating. The rate comparison is skipped (with a note) when
+//! the baseline was recorded at a different thread count or scale, since
+//! rates are only comparable like-for-like; the allocation gate is
+//! absolute and always applies.
 
 use buffer_cache::lru::LruIndex;
-use buffer_cache::WritePolicy;
+use buffer_cache::{BlockCache, CacheConfig, ReadOutcome, WritePolicy, WriteOutcome};
 use miller_core::figures::{two_venus_report, two_venus_report_in};
 use miller_core::{
-    generate, par_sweep, scaled_spec, thread_count, AppKind, Scale, SimReport, TraceStore,
+    generate, par_sweep, scaled_spec, thread_count, AppKind, BlockDevice, DiskModel, DiskParams,
+    Scale, SimDuration, SimReport, SimTime, TraceStore,
 };
 use serde::{Deserialize, Serialize};
+use sim_core::EventQueue;
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+use storage_model::AccessKind;
 
 const MB: u64 = 1024 * 1024;
 
 /// Tolerated events-per-second regression vs the baseline.
 const REGRESSION_TOLERANCE: f64 = 0.30;
+
+/// Allocations per simulated I/O above which the run fails: the steady
+/// state must be allocation-free (the whisker of slack absorbs the
+/// `RateSeries` bins doubling a few more times in the longer run).
+const ALLOC_PER_EVENT_LIMIT: f64 = 0.01;
+
+/// Counts heap allocations so `alloc_per_event` can be measured in-process.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
 
 /// One timed sweep.
 #[derive(Debug, Serialize, Deserialize)]
@@ -54,6 +99,10 @@ struct BenchReport {
     threads: usize,
     /// Scale divisor the simulations ran at.
     scale: u32,
+    /// Marginal heap allocations per simulated I/O on the warm sweep
+    /// path, measured by differencing two runs of different length.
+    /// Absent (`None`) in reports written before the gate existed.
+    alloc_per_event: Option<f64>,
     /// Per-sweep timings.
     sweeps: Vec<SweepTiming>,
 }
@@ -145,6 +194,85 @@ fn run_benches(scale: Scale, seed: u64) -> Vec<SweepTiming> {
         }));
     }
 
+    // Engine-phase microbenches: each hot-path component in isolation,
+    // at workload-representative parameters. 1e9 / events_per_sec is the
+    // ns/op that phase contributes to one simulated I/O.
+
+    // Queue phase: schedule/pop churn through the timing wheel with the
+    // simulator's mix of deltas — mostly near-future (slice and I/O
+    // completions within milliseconds of now), a few far-future (the
+    // 30-second flush aging timer), at ~1k events in flight.
+    sweeps.push(timed("event_queue_churn", || {
+        const OPS: u64 = 4_000_000;
+        const IN_FLIGHT: u64 = 1024;
+        let deltas = [
+            100u64, 250, 1_000, 1_500, 4_000, 10_000, 100_000, 500_000, 3_000_000,
+        ];
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        for i in 0..OPS {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let delta = if x.is_multiple_of(997) {
+                3_000_000_000 // the flush aging timer, ~30 s out
+            } else {
+                deltas[(x % deltas.len() as u64) as usize]
+            };
+            q.schedule(q.now() + SimDuration::from_ticks(delta), i as u32);
+            if q.len() as u64 > IN_FLIGHT {
+                std::hint::black_box(q.pop());
+            }
+        }
+        while q.pop().is_some() {}
+        OPS
+    }));
+
+    // Cache phase: read/write bookkeeping through the reusable-outcome
+    // API over a working set twice the cache, no engine or device model.
+    sweeps.push(timed("cache_ops_churn", || {
+        const OPS: u64 = 1_000_000;
+        let mut cache = BlockCache::new(CacheConfig::buffered(32 * MB));
+        let mut read_out = ReadOutcome::default();
+        let mut write_out = WriteOutcome::default();
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        for i in 0..OPS {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let now = SimTime::from_ticks(i * 100);
+            let offset = (x % (2 * 32 * MB / 4096)) * 4096;
+            if x.is_multiple_of(4) {
+                cache.write_into(now, 1, 1, offset, 4096, &mut write_out);
+                std::hint::black_box(write_out.dirtied_blocks);
+            } else {
+                cache.read_into(now, 1, 1, offset, 4096, &mut read_out);
+                std::hint::black_box(read_out.miss_blocks);
+            }
+        }
+        OPS
+    }));
+
+    // Device phase: the seek/rotate/transfer model alone, alternating
+    // short seeks within a file and long cross-file strides.
+    sweeps.push(timed("device_model_access", || {
+        const OPS: u64 = 2_000_000;
+        let mut disk = DiskModel::new("bench", DiskParams::default());
+        let mut x = 0x853c_49e6_748f_ea9bu64;
+        let mut total = SimDuration::ZERO;
+        for i in 0..OPS {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let now = SimTime::from_ticks(i * 1_000);
+            let offset = (x % (4 * 1024)) * 4096 + (x % 7) * 256 * MB;
+            let kind = if x.is_multiple_of(4) { AccessKind::Write } else { AccessKind::Read };
+            total += disk.access(now, kind, offset, 4096);
+        }
+        std::hint::black_box(total);
+        OPS
+    }));
+
     sweeps.push(timed("lru_churn_64mb_4k_blocks", || {
         const RESIDENT: usize = 64 * 1024 * 1024 / 4096;
         const OPS: u64 = 2_000_000;
@@ -163,6 +291,39 @@ fn run_benches(scale: Scale, seed: u64) -> Vec<SweepTiming> {
     }));
 
     sweeps
+}
+
+/// Marginal heap allocations per simulated I/O, by differencing: two
+/// single-point fig8 runs, identical except trace length (a 4× scale
+/// gap), against a pre-warmed private store. Setup allocations are the
+/// same in both and cancel; what remains is the steady-state cost of the
+/// extra events — zero once the request path reuses its buffers.
+fn measure_alloc_per_event(scale: Scale, seed: u64) -> f64 {
+    let store = TraceStore::new();
+    // The big run is ~16x the small one: a wide gap dilutes the few
+    // logarithmic-count allocations that escape cancellation (per-run
+    // structures such as `RateSeries` bins doubling a couple more times
+    // in the longer run) across many extra events, so the measurement
+    // reads ~0 rather than hovering near the gate.
+    let big_scale = Scale(scale.0.div_ceil(16));
+    let point = |s: Scale| {
+        let r = two_venus_report_in(&store, 32 * MB, 4096, true, WritePolicy::WriteBehind, s, seed);
+        ios_issued(&r)
+    };
+    // Warm both traces into the store (and lazy runtime structures) so
+    // generation stays out of the differenced window.
+    point(scale);
+    point(big_scale);
+
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let small_events = point(scale);
+    let a1 = ALLOCS.load(Ordering::Relaxed);
+    let big_events = point(big_scale);
+    let a2 = ALLOCS.load(Ordering::Relaxed);
+
+    let extra_allocs = (a2 - a1).saturating_sub(a1 - a0);
+    let extra_events = big_events.saturating_sub(small_events).max(1);
+    extra_allocs as f64 / extra_events as f64
 }
 
 /// Compare `report` against the already-parsed `base`line. Returns the
@@ -252,10 +413,29 @@ fn main() -> ExitCode {
     let seed = 42;
 
     let sweeps = run_benches(scale, seed);
-    let report = BenchReport { threads: thread_count(), scale: scale.0, sweeps };
+    let alloc_per_event = measure_alloc_per_event(scale, seed);
+    let report = BenchReport {
+        threads: thread_count(),
+        scale: scale.0,
+        alloc_per_event: Some(alloc_per_event),
+        sweeps,
+    };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
     println!("{json}");
+
+    let mut failed = false;
+    // The allocation gate is absolute: the request path must stay
+    // allocation-free regardless of what any baseline recorded.
+    if alloc_per_event > ALLOC_PER_EVENT_LIMIT {
+        eprintln!(
+            "FAIL: alloc_per_event {alloc_per_event:.4} exceeds {ALLOC_PER_EVENT_LIMIT} — \
+             the request path is allocating in steady state"
+        );
+        failed = true;
+    } else {
+        eprintln!("alloc_per_event {alloc_per_event:.4} (limit {ALLOC_PER_EVENT_LIMIT})");
+    }
 
     if let Some(base) = base {
         let regressed = compare_baseline(&report, &base);
@@ -265,8 +445,11 @@ fn main() -> ExitCode {
             for r in &regressed {
                 eprintln!("FAIL: {r}");
             }
-            return ExitCode::FAILURE;
+            failed = true;
         }
+    }
+    if failed {
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

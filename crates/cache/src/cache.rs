@@ -47,6 +47,10 @@ impl ByteRange {
 }
 
 /// Result of a logical read.
+///
+/// Reusable: [`BlockCache::read_into`] clears and refills one in place,
+/// so a caller that holds an outcome across requests pays no per-request
+/// heap allocation once the vectors have grown to their working size.
 #[derive(Debug, Clone, Default)]
 pub struct ReadOutcome {
     /// Blocks found resident.
@@ -63,7 +67,21 @@ pub struct ReadOutcome {
     pub writebacks: Vec<ByteRange>,
 }
 
+impl ReadOutcome {
+    /// Reset counters and empty the vectors, keeping their capacity.
+    pub fn clear(&mut self) {
+        self.hit_blocks = 0;
+        self.readahead_hit_blocks = 0;
+        self.miss_blocks = 0;
+        self.fetches.clear();
+        self.prefetch.clear();
+        self.writebacks.clear();
+    }
+}
+
 /// Result of a logical write.
+///
+/// Reusable like [`ReadOutcome`]: see [`BlockCache::write_into`].
 #[derive(Debug, Clone, Default)]
 pub struct WriteOutcome {
     /// Ranges the process must synchronously push to the device
@@ -73,6 +91,15 @@ pub struct WriteOutcome {
     pub writebacks: Vec<ByteRange>,
     /// Blocks newly marked dirty and left in the cache.
     pub dirtied_blocks: u64,
+}
+
+impl WriteOutcome {
+    /// Reset counters and empty the vectors, keeping their capacity.
+    pub fn clear(&mut self) {
+        self.write_through.clear();
+        self.writebacks.clear();
+        self.dirtied_blocks = 0;
+    }
 }
 
 type Key = (u32, u64); // (file_id, block number)
@@ -102,12 +129,18 @@ struct Frame {
 const PAGE_SHIFT: u64 = 6;
 const PAGE_BLOCKS: usize = 1 << PAGE_SHIFT;
 
+/// Sentinel page slot meaning "no hint".
+const NO_PAGE: u32 = u32::MAX;
+
 #[derive(Debug)]
 struct Page {
-    /// Number of non-NIL slots.
+    /// Owning page key; hinted lookups check it to self-validate.
+    pk: (u32, u64),
+    /// Number of non-NIL slots; 0 means the page is retired (on the
+    /// free list).
     live: u32,
     /// Frame slot per block within the page, NIL when absent.
-    slots: Box<[u32; PAGE_BLOCKS]>,
+    slots: [u32; PAGE_BLOCKS],
 }
 
 /// Sparse paged index from block key to frame slot.
@@ -116,12 +149,25 @@ struct Page {
 /// small per-page map plus a direct array index is far cheaper than a
 /// full-width hash probe per block into a map with one entry per
 /// resident block: the probed map is ~64× smaller and neighboring
-/// blocks land in the same page. Pages are allocated on first use and
-/// freed when their last block leaves, so memory tracks residency even
-/// for pathologically sparse offsets.
+/// blocks land in the same page. Pages live inline in a slab and the map
+/// stores only slab slots, so page churn (streams retiring one page per
+/// 64 blocks while opening the next) recycles slab entries through a
+/// free list and never moves page data or allocates.
+///
+/// Every operation takes a caller-owned *hint*: a page slot remembered
+/// from an earlier resolution. A hint self-validates against the slab
+/// (`pk` match on a live page), so a run of blocks through one page pays
+/// a single hash probe and per-block array indexing from then on, and a
+/// stale hint — the page was retired or its slab slot reused — costs
+/// one compare and falls back to the map. Callers with no locality pass
+/// a throwaway hint.
 #[derive(Debug, Default)]
 struct PagedIndex {
-    pages: FxHashMap<(u32, u64), Page>,
+    map: FxHashMap<(u32, u64), u32>,
+    /// Page slab addressed by the slots stored in `map` and in hints.
+    pages: Vec<Page>,
+    /// Retired slab slots awaiting reuse.
+    free_pages: Vec<u32>,
     len: usize,
 }
 
@@ -131,13 +177,37 @@ impl PagedIndex {
         ((key.0, key.1 >> PAGE_SHIFT), (key.1 & (PAGE_BLOCKS as u64 - 1)) as usize)
     }
 
+    /// Resolve `pk` to its slab slot, consulting `hint` first.
     #[inline]
-    fn get(&self, key: &Key) -> Option<u32> {
+    fn find_page(&self, pk: (u32, u64), hint: &mut u32) -> Option<u32> {
+        if let Some(p) = self.pages.get(*hint as usize) {
+            if p.pk == pk && p.live > 0 {
+                return Some(*hint);
+            }
+        }
+        match self.map.get(&pk) {
+            Some(&s) => {
+                *hint = s;
+                Some(s)
+            }
+            None => None,
+        }
+    }
+
+    #[inline]
+    fn get_hinted(&self, key: &Key, hint: &mut u32) -> Option<u32> {
         let (pk, i) = Self::split(key);
-        match self.pages.get(&pk)?.slots[i] {
+        let p = self.find_page(pk, hint)?;
+        match self.pages[p as usize].slots[i] {
             NIL => None,
             s => Some(s),
         }
+    }
+
+    #[inline]
+    fn get(&self, key: &Key) -> Option<u32> {
+        let mut hint = NO_PAGE;
+        self.get_hinted(key, &mut hint)
     }
 
     #[inline]
@@ -147,30 +217,52 @@ impl PagedIndex {
 
     /// Insert a key known to be absent (blocks are installed only on
     /// miss).
-    fn insert(&mut self, key: Key, slot: u32) {
+    fn insert_hinted(&mut self, key: Key, slot: u32, hint: &mut u32) {
         let (pk, i) = Self::split(&key);
-        let p = self
-            .pages
-            .entry(pk)
-            .or_insert_with(|| Page { live: 0, slots: Box::new([NIL; PAGE_BLOCKS]) });
-        debug_assert_eq!(p.slots[i], NIL, "install over a resident block");
-        p.slots[i] = slot;
-        p.live += 1;
+        let p = match self.find_page(pk, hint) {
+            Some(p) => p,
+            None => {
+                let p = match self.free_pages.pop() {
+                    Some(p) => {
+                        let pg = &mut self.pages[p as usize];
+                        debug_assert_eq!(pg.live, 0, "free page must be empty");
+                        pg.pk = pk;
+                        p
+                    }
+                    None => {
+                        self.pages.push(Page { pk, live: 0, slots: [NIL; PAGE_BLOCKS] });
+                        (self.pages.len() - 1) as u32
+                    }
+                };
+                self.map.insert(pk, p);
+                *hint = p;
+                p
+            }
+        };
+        let pg = &mut self.pages[p as usize];
+        debug_assert_eq!(pg.slots[i], NIL, "install over a resident block");
+        pg.slots[i] = slot;
+        pg.live += 1;
         self.len += 1;
     }
 
-    fn remove(&mut self, key: &Key) -> Option<u32> {
+    fn remove_hinted(&mut self, key: &Key, hint: &mut u32) -> Option<u32> {
         let (pk, i) = Self::split(key);
-        let p = self.pages.get_mut(&pk)?;
-        let s = p.slots[i];
+        let p = self.find_page(pk, hint)?;
+        let pg = &mut self.pages[p as usize];
+        let s = pg.slots[i];
         if s == NIL {
             return None;
         }
-        p.slots[i] = NIL;
-        p.live -= 1;
+        pg.slots[i] = NIL;
+        pg.live -= 1;
         self.len -= 1;
-        if p.live == 0 {
-            self.pages.remove(&pk);
+        if pg.live == 0 {
+            // Retire: every slot is NIL again, so the slab entry parks on
+            // the free list as-is. The map keeps its table capacity after
+            // a remove, so page churn stays allocation-free.
+            self.map.remove(&pk);
+            self.free_pages.push(p);
         }
         Some(s)
     }
@@ -230,6 +322,14 @@ pub struct BlockCache {
     flush_q: VecDeque<(Key, SimTime /* dirty_since */, SimTime /* ready_at */)>,
     /// Per (process, file) sequential-read detector state.
     seq: FxHashMap<(u32, u32), SeqTrack>,
+    /// Scratch for flush-batch block keys, reused across batches.
+    flush_keys: Vec<Key>,
+    /// Scratch for pinned keys skipped while hunting an own-victim,
+    /// reused across evictions.
+    own_skip: Vec<Key>,
+    /// Page hint for victim removals. LRU order is roughly stream order,
+    /// so consecutive victims usually share a page.
+    evict_hint: u32,
     stats: CacheStats,
 }
 
@@ -249,6 +349,9 @@ impl BlockCache {
             owner_counts: FxHashMap::default(),
             flush_q: VecDeque::new(),
             seq: FxHashMap::default(),
+            flush_keys: Vec::new(),
+            own_skip: Vec::new(),
+            evict_hint: NO_PAGE,
             stats: CacheStats::default(),
         }
     }
@@ -352,7 +455,7 @@ impl BlockCache {
     /// state. Returns the writeback range when the victim was dirty.
     fn finish_evict(&mut self, slot: u32) -> Option<ByteRange> {
         let f = self.frames[slot as usize];
-        self.index.remove(&f.key);
+        self.index.remove_hinted(&f.key, &mut self.evict_hint);
         self.unlink(slot);
         self.free_frame(slot);
         if self.track_owners {
@@ -413,23 +516,28 @@ impl BlockCache {
     /// Pick one of `owner`'s own blocks to evict (ownership-cap
     /// enforcement, §6.2's anti-hogging ablation).
     fn select_own_victim(&mut self, owner: u32, pinned: &PinnedSpan) -> Option<Key> {
-        let own = self.per_owner.get_mut(&owner)?;
-        let mut skipped = Vec::new();
+        // `own_skip` is a reusable scratch list so cap enforcement stays
+        // allocation-free on the hot path.
+        let mut skipped = std::mem::take(&mut self.own_skip);
+        debug_assert!(skipped.is_empty());
         let mut found = None;
-        while let Some(k) = own.pop_lru() {
-            if pinned.contains(&k) {
-                skipped.push(k);
-            } else {
-                found = Some(k);
-                break;
+        if let Some(own) = self.per_owner.get_mut(&owner) {
+            while let Some(k) = own.pop_lru() {
+                if pinned.contains(&k) {
+                    skipped.push(k);
+                } else {
+                    found = Some(k);
+                    break;
+                }
+            }
+            if found.is_none() && !skipped.is_empty() {
+                found = Some(skipped.remove(0));
+            }
+            for k in skipped.drain(..) {
+                own.touch(k);
             }
         }
-        if found.is_none() && !skipped.is_empty() {
-            found = Some(skipped.remove(0));
-        }
-        for k in skipped {
-            self.per_owner.get_mut(&owner).expect("owner lru exists").touch(k);
-        }
+        self.own_skip = skipped;
         found
     }
 
@@ -443,6 +551,7 @@ impl BlockCache {
         now: SimTime,
         pinned: &PinnedSpan,
         writebacks: &mut Vec<ByteRange>,
+        hint: &mut u32,
     ) {
         while self.index.len() as u64 >= self.config.capacity_blocks() {
             match self.select_victim(pinned) {
@@ -463,7 +572,7 @@ impl BlockCache {
             prev: NIL,
             next: NIL,
         });
-        self.index.insert(key, slot);
+        self.index.insert_hinted(key, slot, hint);
         self.push_tail(slot);
         if self.track_owners {
             *self.owner_counts.entry(owner).or_insert(0) += 1;
@@ -490,6 +599,10 @@ impl BlockCache {
 
     /// Service a logical read of `length` bytes at `offset` in `file_id`
     /// by process `pid` at time `now`.
+    ///
+    /// Convenience wrapper over [`BlockCache::read_into`] that allocates
+    /// a fresh outcome. Hot paths should hold a reusable [`ReadOutcome`]
+    /// and call `read_into` instead.
     pub fn read(
         &mut self,
         now: SimTime,
@@ -499,20 +612,38 @@ impl BlockCache {
         length: u64,
     ) -> ReadOutcome {
         let mut out = ReadOutcome::default();
+        self.read_into(now, pid, file_id, offset, length, &mut out);
+        out
+    }
+
+    /// [`BlockCache::read`] writing into a caller-owned outcome. The
+    /// outcome is cleared first; its vectors keep their capacity, so a
+    /// warmed-up caller pays zero heap allocations per request.
+    pub fn read_into(
+        &mut self,
+        now: SimTime,
+        pid: u32,
+        file_id: u32,
+        offset: u64,
+        length: u64,
+        out: &mut ReadOutcome,
+    ) {
+        out.clear();
         self.stats.read_calls += 1;
         self.stats.bytes_read += length;
         if length == 0 {
-            return out;
+            return;
         }
         let bs = self.config.block_size;
         let (first, last) = self.block_span(offset, length);
         let pinned = PinnedSpan { file_id, first, last };
 
+        let mut hint = NO_PAGE;
         let mut run_start: Option<u64> = None;
         for b in first..=last {
             let key = (file_id, b);
             self.stats.accessed_blocks += 1;
-            if let Some(slot) = self.index.get(&key) {
+            if let Some(slot) = self.index.get_hinted(&key, &mut hint) {
                 self.stats.hit_blocks += 1;
                 out.hit_blocks += 1;
                 let f = &mut self.frames[slot as usize];
@@ -537,7 +668,7 @@ impl BlockCache {
                 self.stats.miss_blocks += 1;
                 out.miss_blocks += 1;
                 run_start.get_or_insert(b);
-                self.install(key, pid, false, false, now, &pinned, &mut out.writebacks);
+                self.install(key, pid, false, false, now, &pinned, &mut out.writebacks, &mut hint);
             }
         }
         if let Some(start) = run_start {
@@ -564,7 +695,7 @@ impl BlockCache {
             let mut pf_run: Option<u64> = None;
             for b in pf_first..=pf_last {
                 let key = (file_id, b);
-                if self.index.contains_key(&key) {
+                if self.index.get_hinted(&key, &mut hint).is_some() {
                     if let Some(start) = pf_run.take() {
                         out.prefetch.push(ByteRange {
                             file_id,
@@ -574,7 +705,7 @@ impl BlockCache {
                     }
                 } else {
                     pf_run.get_or_insert(b);
-                    self.install(key, pid, false, true, now, &pinned, &mut out.writebacks);
+                    self.install(key, pid, false, true, now, &pinned, &mut out.writebacks, &mut hint);
                     self.stats.prefetched_blocks += 1;
                 }
             }
@@ -590,11 +721,14 @@ impl BlockCache {
             }
         }
         self.seq.insert(seq_key, SeqTrack { next_offset: offset + length });
-        out
     }
 
     /// Service a logical write of `length` bytes at `offset` in `file_id`
     /// by process `pid` at time `now`.
+    ///
+    /// Convenience wrapper over [`BlockCache::write_into`] that allocates
+    /// a fresh outcome. Hot paths should hold a reusable [`WriteOutcome`]
+    /// and call `write_into` instead.
     pub fn write(
         &mut self,
         now: SimTime,
@@ -604,20 +738,38 @@ impl BlockCache {
         length: u64,
     ) -> WriteOutcome {
         let mut out = WriteOutcome::default();
+        self.write_into(now, pid, file_id, offset, length, &mut out);
+        out
+    }
+
+    /// [`BlockCache::write`] writing into a caller-owned outcome. The
+    /// outcome is cleared first; its vectors keep their capacity, so a
+    /// warmed-up caller pays zero heap allocations per request.
+    pub fn write_into(
+        &mut self,
+        now: SimTime,
+        pid: u32,
+        file_id: u32,
+        offset: u64,
+        length: u64,
+        out: &mut WriteOutcome,
+    ) {
+        out.clear();
         self.stats.write_calls += 1;
         self.stats.bytes_written += length;
         if length == 0 {
-            return out;
+            return;
         }
         let bs = self.config.block_size;
         let (first, last) = self.block_span(offset, length);
         let pinned = PinnedSpan { file_id, first, last };
         let write_through = matches!(self.config.write_policy, WritePolicy::WriteThrough);
 
+        let mut hint = NO_PAGE;
         for b in first..=last {
             let key = (file_id, b);
             self.stats.accessed_blocks += 1;
-            if let Some(slot) = self.index.get(&key) {
+            if let Some(slot) = self.index.get_hinted(&key, &mut hint) {
                 self.stats.hit_blocks += 1;
                 let f = &mut self.frames[slot as usize];
                 let owner = f.owner;
@@ -637,7 +789,7 @@ impl BlockCache {
                 }
             } else {
                 self.stats.miss_blocks += 1;
-                self.install(key, pid, !write_through, false, now, &pinned, &mut out.writebacks);
+                self.install(key, pid, !write_through, false, now, &pinned, &mut out.writebacks, &mut hint);
                 if !write_through {
                     out.dirtied_blocks += 1;
                     self.enqueue_flush(key, now);
@@ -657,7 +809,6 @@ impl BlockCache {
         // interleaves reads and writes on the same files.
         self.seq
             .insert((pid, file_id), SeqTrack { next_offset: offset + length });
-        out
     }
 
     fn enqueue_flush(&mut self, key: Key, dirty_since: SimTime) {
@@ -675,10 +826,30 @@ impl BlockCache {
     /// Under write-behind everything dirty is immediately ready; under
     /// delayed writes only data older than the delay is returned —
     /// Sprite's 30-second sweep (§2.1).
+    ///
+    /// Convenience wrapper over [`BlockCache::take_flush_batch_into`]
+    /// that allocates a fresh vector.
     pub fn take_flush_batch(&mut self, now: SimTime, max_bytes: u64) -> Vec<ByteRange> {
+        let mut out = Vec::new();
+        self.take_flush_batch_into(now, max_bytes, &mut out);
+        out
+    }
+
+    /// [`BlockCache::take_flush_batch`] appending the coalesced ranges
+    /// into a caller-owned vector (not cleared first). Both the output
+    /// vector and the internal block-key scratch keep their capacity, so
+    /// steady-state flushing allocates nothing.
+    pub fn take_flush_batch_into(
+        &mut self,
+        now: SimTime,
+        max_bytes: u64,
+        out: &mut Vec<ByteRange>,
+    ) {
         let bs = self.config.block_size;
-        let mut blocks: Vec<Key> = Vec::new();
+        let mut blocks = std::mem::take(&mut self.flush_keys);
+        debug_assert!(blocks.is_empty());
         let mut budget = max_bytes;
+        let mut hint = NO_PAGE;
         while budget >= bs {
             match self.flush_q.front() {
                 Some(&(_, _, ready_at)) if ready_at <= now => {}
@@ -687,7 +858,7 @@ impl BlockCache {
             let (key, dirty_since, _) = self.flush_q.pop_front().expect("front just observed");
             // A stale entry — evicted, already flushed, or re-dirtied —
             // is silently skipped.
-            if let Some(slot) = self.index.get(&key) {
+            if let Some(slot) = self.index.get_hinted(&key, &mut hint) {
                 let f = &mut self.frames[slot as usize];
                 if f.dirty && f.dirty_since == dirty_since {
                     f.dirty = false;
@@ -696,11 +867,13 @@ impl BlockCache {
                 }
             }
         }
-        let ranges = coalesce(blocks, bs);
-        for r in &ranges {
+        let first = out.len();
+        coalesce_into(&mut blocks, bs, out);
+        for r in &out[first..] {
             self.stats.device_bytes_written += r.length;
         }
-        ranges
+        blocks.clear();
+        self.flush_keys = blocks;
     }
 
     /// True when dirty data is ready to flush at `now`.
@@ -737,19 +910,27 @@ impl BlockCache {
 
 /// Coalesce block keys into contiguous per-file byte ranges.
 fn coalesce(mut blocks: Vec<Key>, block_size: u64) -> Vec<ByteRange> {
-    blocks.sort_unstable();
-    let mut out: Vec<ByteRange> = Vec::new();
-    for (file_id, b) in blocks {
-        match out.last_mut() {
-            Some(r)
-                if r.file_id == file_id && r.end() == b * block_size =>
-            {
-                r.length += block_size;
-            }
-            _ => out.push(ByteRange { file_id, offset: b * block_size, length: block_size }),
-        }
-    }
+    let mut out = Vec::new();
+    coalesce_into(&mut blocks, block_size, &mut out);
     out
+}
+
+/// [`coalesce`] appending into a caller-owned vector. Sorts `blocks` in
+/// place; the caller reclaims its capacity afterwards. Never merges into
+/// ranges already present in `out` before the call.
+fn coalesce_into(blocks: &mut [Key], block_size: u64, out: &mut Vec<ByteRange>) {
+    blocks.sort_unstable();
+    let start = out.len();
+    for &(file_id, b) in blocks.iter() {
+        if out.len() > start {
+            let r = out.last_mut().expect("out is non-empty past start");
+            if r.file_id == file_id && r.end() == b * block_size {
+                r.length += block_size;
+                continue;
+            }
+        }
+        out.push(ByteRange { file_id, offset: b * block_size, length: block_size });
+    }
 }
 
 #[cfg(test)]

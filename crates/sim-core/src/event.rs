@@ -4,6 +4,32 @@
 //! (FIFO), which makes every simulation built on this queue fully
 //! deterministic for a given seed — a property the integration tests
 //! assert end-to-end.
+//!
+//! # Implementation: hierarchical timing wheel
+//!
+//! The queue is a five-level, 64-slot-per-level timing wheel over raw
+//! ticks. Level `k` buckets span `64^k` ticks, so the wheel covers a
+//! `64^5 = 2^30`-tick horizon (~3 simulated hours at 10 µs ticks);
+//! events beyond the horizon wait in a small overflow heap and are
+//! pulled into the wheel once the clock gets close enough.
+//!
+//! An event is placed at the lowest level whose *current window*
+//! contains both the event and the clock — equivalently, the level of
+//! the highest bit in which `at` and `now` differ. Level-0 slots
+//! therefore hold exactly one tick each, and every slot above level 0
+//! cascades into the levels below it when the clock enters its window.
+//! A per-level 64-bit occupancy bitmap finds the next non-empty bucket
+//! with a single `trailing_zeros`, so arbitrarily long idle jumps (far
+//! larger than one wheel rotation) cost a handful of bitmap probes
+//! instead of a walk over empty slots.
+//!
+//! Scheduling and popping are O(1) amortized and allocation-free in
+//! steady state: bucket storage and the due-event buffer recycle their
+//! capacity via swaps rather than reallocating. Pop order is exactly
+//! the `(time, seq)` order of the previous `BinaryHeap` implementation
+//! — all events due at one tick land in the same level-0 bucket and are
+//! drained in sequence-number order — which the property tests pin
+//! against a heap model.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -44,12 +70,59 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
+/// log2 of the slots per level.
+const SLOT_BITS: usize = 6;
+/// Slots per wheel level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Wheel levels; level `k` buckets span `64^k` ticks.
+const LEVELS: usize = 5;
+/// Ticks covered by the wheel before the overflow heap takes over.
+const HORIZON_BITS: usize = SLOT_BITS * LEVELS;
+
+/// One event stored inside the wheel.
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    /// Firing time in raw ticks.
+    at: u64,
+    /// FIFO tie-breaker.
+    seq: u64,
+    event: E,
+}
+
+/// The level an event at `at` belongs to when the clock reads `cur`:
+/// the lowest level whose current window contains both, i.e. the level
+/// of the highest differing bit. `None` when the event lies beyond the
+/// wheel horizon.
+#[inline]
+fn place_level(at: u64, cur: u64) -> Option<usize> {
+    let xor = at ^ cur;
+    if xor == 0 {
+        return Some(0);
+    }
+    let level = (63 - xor.leading_zeros() as usize) / SLOT_BITS;
+    (level < LEVELS).then_some(level)
+}
+
 /// A time-ordered event queue with FIFO tie-breaking.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    /// `LEVELS * SLOTS` buckets, flattened.
+    slots: Vec<Vec<Entry<E>>>,
+    /// Per-level occupancy bitmap: bit `s` set ⇔ `slots[level*SLOTS+s]`
+    /// is non-empty.
+    occ: [u64; LEVELS],
+    /// Events due at `cur`, sorted by *descending* seq so the next event
+    /// pops off the end.
+    current: Vec<Entry<E>>,
+    /// Scratch for cascading a bucket down a level without reallocating.
+    cascade_buf: Vec<Entry<E>>,
+    /// Events beyond the wheel horizon.
+    overflow: BinaryHeap<Scheduled<E>>,
+    len: usize,
     next_seq: u64,
-    now: SimTime,
+    /// Clock in raw ticks: the firing time of the most recently popped
+    /// event.
+    cur: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -62,9 +135,14 @@ impl<E> EventQueue<E> {
     /// An empty queue with the clock at zero.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occ: [0; LEVELS],
+            current: Vec::new(),
+            cascade_buf: Vec::new(),
+            overflow: BinaryHeap::new(),
+            len: 0,
             next_seq: 0,
-            now: SimTime::ZERO,
+            cur: 0,
         }
     }
 
@@ -72,7 +150,7 @@ impl<E> EventQueue<E> {
     /// popped event (monotonically non-decreasing).
     #[inline]
     pub fn now(&self) -> SimTime {
-        self.now
+        SimTime::from_ticks(self.cur)
     }
 
     /// Schedule `event` to fire at absolute time `at`.
@@ -82,43 +160,147 @@ impl<E> EventQueue<E> {
     /// the clock would silently violate causality.
     pub fn schedule(&mut self, at: SimTime, event: E) {
         debug_assert!(
-            at >= self.now,
+            at >= self.now(),
             "event scheduled in the past: {at} < now {}",
-            self.now
+            self.now()
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, event });
+        self.len += 1;
+        if let Some(e) = self.place(Entry { at: at.ticks(), seq, event }) {
+            self.overflow.push(Scheduled { at, seq: e.seq, event: e.event });
+        }
+    }
+
+    /// Insert an entry into the wheel; hands it back when it lies beyond
+    /// the horizon (the caller routes it to the overflow heap).
+    #[inline]
+    fn place(&mut self, e: Entry<E>) -> Option<Entry<E>> {
+        let Some(level) = place_level(e.at, self.cur) else { return Some(e) };
+        let slot = ((e.at >> (SLOT_BITS * level)) & (SLOTS as u64 - 1)) as usize;
+        self.occ[level] |= 1 << slot;
+        self.slots[level * SLOTS + slot].push(e);
+        None
+    }
+
+    /// Advance the clock to the next pending tick and load that tick's
+    /// events (sequence-ordered) into `current`. False when nothing is
+    /// pending.
+    fn refill(&mut self) -> bool {
+        debug_assert!(self.current.is_empty());
+        loop {
+            // Level 0: buckets hold exactly one tick each, and slots
+            // below `cur`'s are necessarily empty, so the lowest set bit
+            // is the next due tick.
+            if self.occ[0] != 0 {
+                let s = self.occ[0].trailing_zeros() as usize;
+                self.occ[0] &= !(1u64 << s);
+                std::mem::swap(&mut self.slots[s], &mut self.current);
+                self.cur = (self.cur >> SLOT_BITS << SLOT_BITS) | s as u64;
+                // All entries share the tick; descending seq pops FIFO
+                // off the end.
+                self.current.sort_unstable_by_key(|e| std::cmp::Reverse(e.seq));
+                debug_assert!(self.current.iter().all(|e| e.at == self.cur));
+                return true;
+            }
+            // Cascade the earliest occupied bucket of the lowest
+            // non-empty level into the levels below it.
+            let mut cascaded = false;
+            for level in 1..LEVELS {
+                if self.occ[level] == 0 {
+                    continue;
+                }
+                let p = self.occ[level].trailing_zeros() as usize;
+                self.occ[level] &= !(1u64 << p);
+                let shift = SLOT_BITS * level;
+                let width = shift + SLOT_BITS;
+                // Jump the clock to the bucket's window start; every
+                // pending event is inside or beyond this bucket, so the
+                // clock never overtakes one.
+                self.cur = (self.cur >> width << width) | ((p as u64) << shift);
+                let mut buf = std::mem::take(&mut self.cascade_buf);
+                std::mem::swap(&mut self.slots[level * SLOTS + p], &mut buf);
+                for e in buf.drain(..) {
+                    debug_assert!(place_level(e.at, self.cur).is_some_and(|l| l < level));
+                    let back = self.place(e);
+                    debug_assert!(back.is_none(), "cascaded entry left the horizon");
+                }
+                self.cascade_buf = buf;
+                cascaded = true;
+                break;
+            }
+            if cascaded {
+                continue;
+            }
+            // Wheel empty: re-anchor on the overflow heap and pull every
+            // event now inside the horizon window into the wheel.
+            let Some(top) = self.overflow.peek() else { return false };
+            self.cur = top.at.ticks();
+            while let Some(s) = self.overflow.peek() {
+                if s.at.ticks() >> HORIZON_BITS != self.cur >> HORIZON_BITS {
+                    break;
+                }
+                let Scheduled { at, seq, event } = self.overflow.pop().expect("just peeked");
+                let back = self.place(Entry { at: at.ticks(), seq, event });
+                debug_assert!(back.is_none(), "drained entry fits the horizon window");
+            }
+        }
     }
 
     /// Pop the earliest event, advancing the clock to its firing time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let Scheduled { at, event, .. } = self.heap.pop()?;
-        debug_assert!(at >= self.now, "event queue went backwards in time");
-        self.now = at;
-        Some((at, event))
+        if self.current.is_empty() && !self.refill() {
+            return None;
+        }
+        let e = self.current.pop().expect("refill loaded at least one entry");
+        self.len -= 1;
+        debug_assert_eq!(e.at, self.cur, "due buffer out of sync with the clock");
+        Some((SimTime::from_ticks(e.at), e.event))
     }
 
     /// Firing time of the next event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+        if let Some(e) = self.current.last() {
+            return Some(SimTime::from_ticks(e.at));
+        }
+        if self.occ[0] != 0 {
+            let s = self.occ[0].trailing_zeros() as u64;
+            return Some(SimTime::from_ticks((self.cur >> SLOT_BITS << SLOT_BITS) | s));
+        }
+        // The first occupied bucket of the lowest non-empty level bounds
+        // everything above it (higher levels differ from the clock in a
+        // higher bit), so its earliest entry is the queue minimum.
+        for level in 1..LEVELS {
+            if self.occ[level] == 0 {
+                continue;
+            }
+            let p = self.occ[level].trailing_zeros() as usize;
+            let min = self.slots[level * SLOTS + p]
+                .iter()
+                .map(|e| e.at)
+                .min()
+                .expect("occupancy bit set on an empty bucket");
+            return Some(SimTime::from_ticks(min));
+        }
+        // Overflow events differ from the clock above the horizon bit,
+        // so they are later than anything the wheel could hold.
+        self.overflow.peek().map(|s| s.at)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    #[cfg(debug_assertions)]
     use crate::time::SimDuration;
 
     #[test]
@@ -185,5 +367,88 @@ mod tests {
         q.schedule(SimTime::from_ticks(30), 3);
         let rest: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         assert_eq!(rest, [2, 3, 4]);
+    }
+
+    #[test]
+    fn schedule_at_now_fires_after_already_due_events() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ticks(50);
+        q.schedule(t, 1);
+        q.schedule(t, 2);
+        assert_eq!(q.pop().unwrap(), (t, 1));
+        // The clock now reads 50; a zero-delay event at exactly `now`
+        // must fire after the rest of the tick-50 batch, in seq order.
+        q.schedule(q.now(), 3);
+        assert_eq!(q.pop().unwrap(), (t, 2));
+        assert_eq!(q.pop().unwrap(), (t, 3));
+        q.schedule(q.now(), 4);
+        assert_eq!(q.pop().unwrap(), (t, 4));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn jump_past_a_full_wheel_rotation() {
+        // Far beyond the 2^30-tick horizon: the event parks in the
+        // overflow heap and the wheel re-anchors when everything nearer
+        // has drained.
+        let far = 1u64 << 40;
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ticks(far), "far");
+        q.schedule(SimTime::from_ticks(3), "near");
+        assert_eq!(q.pop().unwrap(), (SimTime::from_ticks(3), "near"));
+        assert_eq!(q.peek_time(), Some(SimTime::from_ticks(far)));
+        assert_eq!(q.pop().unwrap(), (SimTime::from_ticks(far), "far"));
+        assert_eq!(q.now(), SimTime::from_ticks(far));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_tick_fifo_across_near_and_far_scheduling() {
+        // Two events for the same tick arrive via different routes — one
+        // scheduled far ahead (parked high in the wheel, cascaded down),
+        // one scheduled moments before it fires (placed directly at level
+        // 0). FIFO order by insertion seq must survive the merge.
+        let t = SimTime::from_ticks(100_000);
+        let mut q = EventQueue::new();
+        q.schedule(t, "early-seq");
+        q.schedule(SimTime::from_ticks(99_999), "warmup");
+        let (_, w) = q.pop().unwrap();
+        assert_eq!(w, "warmup");
+        q.schedule(t, "late-seq");
+        assert_eq!(q.pop().unwrap(), (t, "early-seq"));
+        assert_eq!(q.pop().unwrap(), (t, "late-seq"));
+    }
+
+    #[test]
+    fn dense_ticks_across_level_boundaries() {
+        // Every tick in a range spanning several level-0 windows and a
+        // level-1 boundary pops in order.
+        let mut q = EventQueue::new();
+        for t in (0..300u64).rev() {
+            q.schedule(SimTime::from_ticks(t), t);
+        }
+        for want in 0..300u64 {
+            let (at, got) = q.pop().unwrap();
+            assert_eq!(at, SimTime::from_ticks(want));
+            assert_eq!(got, want);
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn len_counts_wheel_overflow_and_due_buffer() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ticks(1), ());
+        q.schedule(SimTime::from_ticks(1), ());
+        q.schedule(SimTime::from_ticks(1u64 << 35), ());
+        assert_eq!(q.len(), 3);
+        q.pop();
+        // The second tick-1 event sits in the due buffer now.
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ticks(1)));
+        q.pop();
+        q.pop();
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
     }
 }

@@ -1,0 +1,142 @@
+//! The timing-wheel [`EventQueue`] must be observationally identical to
+//! the `BinaryHeap`-with-sequence-numbers queue it replaced: for any
+//! interleaving of schedules and pops — including ties at one tick,
+//! deltas past the wheel horizon, and long idle jumps — both pop the
+//! exact same `(time, payload)` sequence. The heap model below *is* the
+//! old implementation, kept here as the executable specification.
+
+use proptest::prelude::*;
+use sim_core::{EventQueue, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// The pre-timing-wheel queue: a max-heap inverted on `(time, seq)`.
+struct HeapModel<E> {
+    heap: BinaryHeap<ModelEntry<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+struct ModelEntry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for ModelEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for ModelEntry<E> {}
+impl<E> PartialOrd for ModelEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for ModelEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> HeapModel<E> {
+    fn new() -> Self {
+        HeapModel { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
+    }
+
+    fn schedule(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ModelEntry { at, seq, event });
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        let ModelEntry { at, event, .. } = self.heap.pop()?;
+        self.now = at;
+        Some((at, event))
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Schedule at `now + delta` (ticks).
+    Schedule { delta: u64 },
+    /// Pop once.
+    Pop,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // Deltas cover every interesting regime: zero (schedule-at-now),
+    // same level-0 window, level boundaries, multi-level cascades, and
+    // far past the 2^30-tick wheel horizon.
+    prop_oneof![
+        Just(Op::Pop),
+        Just(Op::Pop),
+        prop::sample::select(vec![
+            0u64,
+            1,
+            2,
+            63,
+            64,
+            65,
+            1000,
+            4095,
+            4096,
+            100_000,
+            262_143,
+            262_144,
+            50_000_000,
+            (1u64 << 30) - 1,
+            1u64 << 30,
+            (1u64 << 30) + 12345,
+            1u64 << 34,
+        ])
+        .prop_map(|delta| Op::Schedule { delta }),
+        (0u64..200).prop_map(|delta| Op::Schedule { delta }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn wheel_matches_heap_model(ops in proptest::collection::vec(arb_op(), 1..400)) {
+        let mut wheel: EventQueue<u64> = EventQueue::new();
+        let mut model: HeapModel<u64> = HeapModel::new();
+        let mut id = 0u64;
+        for op in &ops {
+            match *op {
+                Op::Schedule { delta } => {
+                    // Both queues agree on `now` (checked below), so the
+                    // same absolute time goes to each.
+                    let at = SimTime::from_ticks(wheel.now().ticks() + delta);
+                    wheel.schedule(at, id);
+                    model.schedule(at, id);
+                    id += 1;
+                }
+                Op::Pop => {
+                    let got = wheel.pop();
+                    let want = model.pop();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(wheel.len(), model.heap.len());
+            if let Some(peek) = wheel.peek_time() {
+                prop_assert_eq!(Some(peek), model.heap.peek().map(|e| e.at));
+            } else {
+                prop_assert!(model.heap.is_empty());
+            }
+        }
+        // Drain both to the end: the full tail must match too.
+        loop {
+            let got = wheel.pop();
+            let want = model.pop();
+            prop_assert_eq!(got, want);
+            if got.is_none() {
+                break;
+            }
+        }
+        prop_assert!(wheel.is_empty());
+    }
+}

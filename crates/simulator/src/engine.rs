@@ -25,7 +25,7 @@
 use crate::config::SimConfig;
 use crate::metrics::{ProcessMetrics, SimReport};
 use crate::process::{ProcState, ProcessState};
-use buffer_cache::{BlockCache, ByteRange};
+use buffer_cache::{BlockCache, ByteRange, ReadOutcome, WriteOutcome};
 use iotrace::{Direction, IoEvent, Synchrony, Trace};
 use rustc_hash::FxHashMap;
 use sim_core::{EventQueue, RateSeries, SimDuration, SimTime};
@@ -84,6 +84,19 @@ struct Placement {
     base: u64,
 }
 
+/// An in-flight background fetch: blocks `first..=last` of `file` whose
+/// data arrives at `ready`. Kept in a small list of DISJOINT ranges —
+/// re-marking trims older overlapping entries first — so probing a
+/// request span is a scan of the few in-flight fetches instead of a
+/// hash-map operation per block.
+#[derive(Debug, Clone, Copy)]
+struct PendingRange {
+    file: u32,
+    first: u64,
+    last: u64,
+    ready: SimTime,
+}
+
 /// The simulator. Construct, [`Simulation::add_process`], then
 /// [`Simulation::run`].
 pub struct Simulation {
@@ -103,8 +116,9 @@ pub struct Simulation {
     placements: FxHashMap<u32, Placement>,
     next_file_slot: Vec<u64>,
     /// Blocks fetched by read-ahead or async demand whose data is still
-    /// in flight: block → ready time.
-    pending_blocks: FxHashMap<(u32, u64), SimTime>,
+    /// in flight, as disjoint ranges. Expired entries are purged lazily
+    /// on probe.
+    pending: Vec<PendingRange>,
     flush_busy: Vec<bool>,
     flush_queues: Vec<VecDeque<ByteRange>>,
     /// Running total of ranges across all `flush_queues`, maintained on
@@ -112,6 +126,17 @@ pub struct Simulation {
     /// iteration.
     flush_queued: usize,
     flush_timer_armed: bool,
+    /// Processes in [`ProcState::Done`], maintained so the run loop's
+    /// completion check is O(1) instead of a per-event scan.
+    done: usize,
+    /// Cache block size (or 4096 when uncached), copied out of the
+    /// config so the per-request block-span math skips the Option probe.
+    block_size: u64,
+    /// Scratch outcomes and flush batch reused across requests; after
+    /// warm-up the request path performs no heap allocation.
+    read_scratch: ReadOutcome,
+    write_scratch: WriteOutcome,
+    flush_batch_buf: Vec<ByteRange>,
     // metrics
     busy: SimDuration,
     overhead: SimDuration,
@@ -126,6 +151,7 @@ impl Simulation {
     pub fn new(config: SimConfig) -> Simulation {
         config.validate();
         let cache = config.cache.clone().map(BlockCache::new);
+        let block_size = cache.as_ref().map(|c| c.config().block_size).unwrap_or(4096);
         let disks = (0..config.n_disks)
             .map(|i| DiskModel::new(format!("disk{i}"), config.disk.clone()))
             .collect();
@@ -139,11 +165,16 @@ impl Simulation {
             queue: EventQueue::new(),
             placements: FxHashMap::default(),
             next_file_slot: vec![0; config.n_disks],
-            pending_blocks: FxHashMap::default(),
+            pending: Vec::new(),
             flush_busy: vec![false; config.n_disks],
             flush_queues: (0..config.n_disks).map(|_| VecDeque::new()).collect(),
             flush_queued: 0,
             flush_timer_armed: false,
+            done: 0,
+            block_size,
+            read_scratch: ReadOutcome::default(),
+            write_scratch: WriteOutcome::default(),
+            flush_batch_buf: Vec::new(),
             busy: SimDuration::ZERO,
             overhead: SimDuration::ZERO,
             logical_series: RateSeries::new(config.series_bin),
@@ -224,7 +255,7 @@ impl Simulation {
     }
 
     fn block_span(&self, offset: u64, length: u64) -> (u64, u64) {
-        let bs = self.cache.as_ref().map(|c| c.config().block_size).unwrap_or(4096);
+        let bs = self.block_size;
         if length == 0 {
             return (offset / bs, offset / bs);
         }
@@ -232,27 +263,69 @@ impl Simulation {
     }
 
     /// Wait required for still-in-flight read-ahead data covering the
-    /// range.
+    /// range. Expired entries met along the way are dropped — they can
+    /// never contribute a wait again.
     fn pending_wait(&mut self, now: SimTime, file: u32, offset: u64, length: u64) -> SimDuration {
+        if self.pending.is_empty() {
+            return SimDuration::ZERO;
+        }
         let (first, last) = self.block_span(offset, length);
         let mut wait = SimDuration::ZERO;
-        for b in first..=last {
-            if let Some(&ready) = self.pending_blocks.get(&(file, b)) {
-                if ready > now {
-                    wait = wait.max(ready.saturating_since(now));
-                } else {
-                    self.pending_blocks.remove(&(file, b));
-                }
+        let mut i = 0;
+        while i < self.pending.len() {
+            let e = self.pending[i];
+            if e.ready <= now {
+                self.pending.swap_remove(i);
+                continue;
             }
+            if e.file == file && e.first <= last && first <= e.last {
+                wait = wait.max(e.ready.saturating_since(now));
+            }
+            i += 1;
         }
         wait
     }
 
     fn mark_pending(&mut self, file: u32, offset: u64, length: u64, ready: SimTime) {
         let (first, last) = self.block_span(offset, length);
-        for b in first..=last {
-            self.pending_blocks.insert((file, b), ready);
+        // Trim the new span out of any older overlapping entries (the
+        // new mark overrides block-for-block, like the per-block map this
+        // replaces), keeping the list disjoint.
+        let mut i = 0;
+        while i < self.pending.len() {
+            let e = self.pending[i];
+            if e.file == file && e.first <= last && first <= e.last {
+                let left = (e.first < first).then(|| PendingRange {
+                    file,
+                    first: e.first,
+                    last: first - 1,
+                    ready: e.ready,
+                });
+                let right = (e.last > last).then(|| PendingRange {
+                    file,
+                    first: last + 1,
+                    last: e.last,
+                    ready: e.ready,
+                });
+                match (left, right) {
+                    (Some(l), Some(r)) => {
+                        self.pending[i] = l;
+                        self.pending.push(r);
+                        i += 1;
+                    }
+                    (Some(part), None) | (None, Some(part)) => {
+                        self.pending[i] = part;
+                        i += 1;
+                    }
+                    (None, None) => {
+                        self.pending.swap_remove(i);
+                    }
+                }
+            } else {
+                i += 1;
+            }
         }
+        self.pending.push(PendingRange { file, first, last, ready });
     }
 
     /// Dispatch ready processes onto free CPUs.
@@ -309,8 +382,10 @@ impl Simulation {
 
     fn finish_process(&mut self, slot: usize, now: SimTime) {
         let p = &mut self.procs[slot];
+        debug_assert_ne!(p.state, ProcState::Done);
         p.state = ProcState::Done;
         p.finished_at = now;
+        self.done += 1;
         self.wall_end = self.wall_end.max(now);
     }
 
@@ -327,12 +402,16 @@ impl Simulation {
             return block + self.device_op(now, kind, ev.file_id, ev.offset, ev.length);
         }
 
+        // The outcome scratch is moved out of `self` for the duration of
+        // the borrow-heavy device loops, then put back with its (possibly
+        // grown) capacity — the steady state allocates nothing.
         match ev.dir {
             Direction::Read => {
-                let out = {
-                    let cache = self.cache.as_mut().expect("checked above");
-                    cache.read(now, ev.process_id, ev.file_id, ev.offset, ev.length)
-                };
+                let mut out = std::mem::take(&mut self.read_scratch);
+                self.cache
+                    .as_mut()
+                    .expect("checked above")
+                    .read_into(now, ev.process_id, ev.file_id, ev.offset, ev.length, &mut out);
                 for wb in &out.writebacks {
                     block += self.device_op(now, AccessKind::Write, wb.file_id, wb.offset, wb.length);
                 }
@@ -346,18 +425,21 @@ impl Simulation {
                     let d = self.device_op(now, AccessKind::Read, pf.file_id, pf.offset, pf.length);
                     self.mark_pending(pf.file_id, pf.offset, pf.length, pf_start + d);
                 }
+                self.read_scratch = out;
             }
             Direction::Write => {
-                let out = {
-                    let cache = self.cache.as_mut().expect("checked above");
-                    cache.write(now, ev.process_id, ev.file_id, ev.offset, ev.length)
-                };
+                let mut out = std::mem::take(&mut self.write_scratch);
+                self.cache
+                    .as_mut()
+                    .expect("checked above")
+                    .write_into(now, ev.process_id, ev.file_id, ev.offset, ev.length, &mut out);
                 for wb in &out.writebacks {
                     block += self.device_op(now, AccessKind::Write, wb.file_id, wb.offset, wb.length);
                 }
                 for wt in &out.write_through {
                     block += self.device_op(now, AccessKind::Write, wt.file_id, wt.offset, wt.length);
                 }
+                self.write_scratch = out;
                 self.kick_flushers(now);
             }
         }
@@ -369,18 +451,23 @@ impl Simulation {
     fn kick_flushers(&mut self, now: SimTime) {
         let Some(cache) = self.cache.as_mut() else { return };
         // Refill per-disk queues while ready dirty data exists and some
-        // queue is short.
+        // queue is short. The batch buffer is owned by the simulation and
+        // reused across calls.
+        let mut batch = std::mem::take(&mut self.flush_batch_buf);
         while cache.has_flushable(now) && self.flush_queued < 4 * self.config.n_disks {
-            let batch = cache.take_flush_batch(now, self.config.flush_batch);
+            batch.clear();
+            cache.take_flush_batch_into(now, self.config.flush_batch, &mut batch);
             if batch.is_empty() {
                 break;
             }
-            for r in batch {
+            for r in batch.drain(..) {
                 let disk = (r.file_id as usize) % self.config.n_disks;
                 self.flush_queues[disk].push_back(r);
                 self.flush_queued += 1;
             }
         }
+        batch.clear();
+        self.flush_batch_buf = batch;
         // Arm the aging timer for delayed writes.
         if let Some(cache) = self.cache.as_ref() {
             if !self.flush_timer_armed {
@@ -409,7 +496,7 @@ impl Simulation {
     }
 
     fn all_done(&self) -> bool {
-        self.procs.iter().all(|p| p.state == ProcState::Done)
+        self.done == self.procs.len()
     }
 
     /// Run to completion and report.
@@ -421,6 +508,7 @@ impl Simulation {
             } else {
                 // Born-done (empty trace).
                 self.procs[slot].state = ProcState::Done;
+                self.done += 1;
             }
         }
         self.dispatch(SimTime::ZERO);
@@ -496,7 +584,6 @@ impl Simulation {
                 break;
             }
         }
-
         // Quiesce: drain the remaining dirty data to the disks for
         // accounting (does not extend the measured wall clock). This
         // covers both ranges already pulled into flusher queues and
