@@ -24,11 +24,25 @@
 //!
 //! `--baseline <path>` compares this run against a previously written
 //! `BENCH_sim.json` and exits non-zero if any shared sweep's
-//! `events_per_sec` regressed by more than 30 %, or if the request path
-//! started allocating. The rate comparison is skipped (with a note) when
-//! the baseline was recorded at a different thread count or scale, since
-//! rates are only comparable like-for-like; the allocation gate is
-//! absolute and always applies.
+//! `events_per_sec` regressed beyond tolerance, or if the request path
+//! started allocating. The tolerance is 30 % for most sweeps but a tight
+//! 3 % for the canonical `fig8_cache_sweep_14pt` — that sweep runs with
+//! span profiling forcibly *disabled*, timed as the best of five
+//! repetitions interleaved with the profiling-on sweep, so it guards
+//! the zero-overhead claim of the observability layer against the
+//! hot-path baseline. The rate comparison is skipped (with a note)
+//! when the baseline was recorded at a different thread count or scale,
+//! since rates are only comparable like-for-like; the allocation gates
+//! are absolute and always apply.
+//!
+//! Observability: the same grid is re-run as `fig8_sweep_obs_on` with
+//! the span recorder enabled, and the report's `obs` section summarizes
+//! recorder occupancy plus the enabled-vs-disabled overhead.
+//! `alloc_per_event_obs` repeats the allocation differencing with spans
+//! on — recording must stay allocation-free too (the ring drops, never
+//! grows). `--profile PATH` (or `MILLER_PROFILE=PATH`) additionally
+//! exports everything recorded as a Chrome trace-event / Perfetto JSON
+//! timeline.
 
 use buffer_cache::lru::LruIndex;
 use buffer_cache::{BlockCache, CacheConfig, ReadOutcome, WritePolicy, WriteOutcome};
@@ -49,6 +63,22 @@ const MB: u64 = 1024 * 1024;
 
 /// Tolerated events-per-second regression vs the baseline.
 const REGRESSION_TOLERANCE: f64 = 0.30;
+
+/// The canonical hot-path sweep: spans forced off, best of five
+/// repetitions interleaved with the spans-on sweep.
+const HOT_SWEEP: &str = "fig8_cache_sweep_14pt";
+
+/// The hot sweep gets a far tighter gate than the generic whisker: it is
+/// the guard that the observability layer costs nothing when disabled.
+const HOT_SWEEP_TOLERANCE: f64 = 0.03;
+
+fn tolerance_for(name: &str) -> f64 {
+    if name == HOT_SWEEP {
+        HOT_SWEEP_TOLERANCE
+    } else {
+        REGRESSION_TOLERANCE
+    }
+}
 
 /// Allocations per simulated I/O above which the run fails: the steady
 /// state must be allocation-free (the whisker of slack absorbs the
@@ -92,6 +122,24 @@ struct SweepTiming {
     events_per_sec: f64,
 }
 
+/// What the observability layer did and cost during this run.
+#[derive(Debug, Serialize, Deserialize)]
+struct ObsBenchSummary {
+    /// Span events sitting in the flight-recorder ring at report time.
+    events_recorded: u64,
+    /// Span events dropped because the ring was full.
+    events_dropped: u64,
+    /// Perfetto tracks registered (per-process, per-disk, per-worker).
+    tracks: usize,
+    /// Hot sweep rate with span recording disabled (the canonical rate).
+    off_events_per_sec: f64,
+    /// The same sweep with span recording enabled.
+    on_events_per_sec: f64,
+    /// Slowdown of the enabled sweep relative to disabled, in percent
+    /// (positive = enabled is slower). Informational, not gated.
+    on_overhead_pct: f64,
+}
+
 /// The whole `BENCH_sim.json` document.
 #[derive(Debug, Serialize, Deserialize)]
 struct BenchReport {
@@ -103,6 +151,11 @@ struct BenchReport {
     /// path, measured by differencing two runs of different length.
     /// Absent (`None`) in reports written before the gate existed.
     alloc_per_event: Option<f64>,
+    /// The same differencing with the span recorder enabled: recording
+    /// must not allocate either. Absent in pre-observability reports.
+    alloc_per_event_obs: Option<f64>,
+    /// Observability-layer summary. Absent in pre-observability reports.
+    obs: Option<ObsBenchSummary>,
     /// Per-sweep timings.
     sweeps: Vec<SweepTiming>,
 }
@@ -164,13 +217,41 @@ fn run_benches(scale: Scale, seed: u64) -> Vec<SweepTiming> {
     // like `fig8()` — reproduced here so per-point I/O counts are
     // visible for the rate. The global store is warm by now (fig6/fig7
     // above), so this is the steady-state sweep rate.
-    sweeps.push(timed("fig8_cache_sweep_14pt", || {
+    //
+    // Run it twice: once with span recording forced off (the canonical
+    // hot-path rate, gated at 3 % vs baseline) and once forced on, so
+    // the report states the observability layer's overhead directly.
+    let fig8_once = || {
         let counts = par_sweep(&fig8_jobs(), |&(mb, block)| {
             let r = two_venus_report(mb * MB, block, true, WritePolicy::WriteBehind, scale, seed);
             ios_issued(&r)
         });
         counts.iter().sum()
-    }));
+    };
+    // Interleaved off/on repetitions: on a shared machine the load
+    // regime drifts over the seconds a sweep block takes, so measuring
+    // all-off then all-on would compare different windows and report
+    // phantom overhead. Alternating pairs sample the same windows; the
+    // minimum over the pairs is each mode's true capability.
+    let spans_were_on = obs::enabled();
+    obs::init(1 << 18);
+    let mut off_best: Option<SweepTiming> = None;
+    let mut on_best: Option<SweepTiming> = None;
+    for _ in 0..5 {
+        obs::set_enabled(false);
+        let off = timed(HOT_SWEEP, fig8_once);
+        if off_best.as_ref().is_none_or(|b| off.wall_secs < b.wall_secs) {
+            off_best = Some(off);
+        }
+        obs::set_enabled(true);
+        let on = timed("fig8_sweep_obs_on", fig8_once);
+        if on_best.as_ref().is_none_or(|b| on.wall_secs < b.wall_secs) {
+            on_best = Some(on);
+        }
+    }
+    obs::set_enabled(spans_were_on);
+    sweeps.push(off_best.expect("five off repetitions ran"));
+    sweeps.push(on_best.expect("five on repetitions ran"));
 
     // The same grid against a private store: cold includes the one-time
     // generation of both venus traces, warm re-runs with them memoized.
@@ -298,7 +379,17 @@ fn run_benches(scale: Scale, seed: u64) -> Vec<SweepTiming> {
 /// gap), against a pre-warmed private store. Setup allocations are the
 /// same in both and cancel; what remains is the steady-state cost of the
 /// extra events — zero once the request path reuses its buffers.
-fn measure_alloc_per_event(scale: Scale, seed: u64) -> f64 {
+///
+/// With `with_obs` the span recorder runs enabled throughout: per-run
+/// track registrations are identical in both runs and cancel, and the
+/// ring's fixed slots never grow (a full ring drops), so this measures
+/// that *recording itself* is allocation-free per event.
+fn measure_alloc_per_event(scale: Scale, seed: u64, with_obs: bool) -> f64 {
+    let spans_were_on = obs::enabled();
+    if with_obs {
+        obs::init(1 << 18);
+    }
+    obs::set_enabled(with_obs);
     let store = TraceStore::new();
     // The big run is ~16x the small one: a wide gap dilutes the few
     // logarithmic-count allocations that escape cancellation (per-run
@@ -323,6 +414,7 @@ fn measure_alloc_per_event(scale: Scale, seed: u64) -> f64 {
 
     let extra_allocs = (a2 - a1).saturating_sub(a1 - a0);
     let extra_events = big_events.saturating_sub(small_events).max(1);
+    obs::set_enabled(spans_were_on);
     extra_allocs as f64 / extra_events as f64
 }
 
@@ -346,20 +438,22 @@ fn compare_baseline(report: &BenchReport, base: &BenchReport) -> Vec<String> {
         if b.events_per_sec <= 0.0 {
             continue;
         }
+        let tolerance = tolerance_for(&s.name);
         let ratio = s.events_per_sec / b.events_per_sec;
         eprintln!(
-            "{}: {:.0} events/s vs baseline {:.0} ({:+.1}%)",
+            "{}: {:.0} events/s vs baseline {:.0} ({:+.1}%, limit -{:.0}%)",
             s.name,
             s.events_per_sec,
             b.events_per_sec,
-            (ratio - 1.0) * 100.0
+            (ratio - 1.0) * 100.0,
+            tolerance * 100.0
         );
-        if ratio < 1.0 - REGRESSION_TOLERANCE {
+        if ratio < 1.0 - tolerance {
             regressed.push(format!(
                 "{} regressed {:.1}% (limit {:.0}%)",
                 s.name,
                 (1.0 - ratio) * 100.0,
-                REGRESSION_TOLERANCE * 100.0
+                tolerance * 100.0
             ));
         }
     }
@@ -367,8 +461,16 @@ fn compare_baseline(report: &BenchReport, base: &BenchReport) -> Vec<String> {
 }
 
 fn main() -> ExitCode {
+    let mut argv: Vec<String> = std::env::args().collect();
+    let profile = match obs::apply_profile_flag(&mut argv) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("repro_bench: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
     let mut baseline = None;
-    let mut args = std::env::args().skip(1);
+    let mut args = argv.into_iter().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--baseline" => match args.next() {
@@ -380,7 +482,7 @@ fn main() -> ExitCode {
             },
             other => {
                 eprintln!("repro_bench: unknown argument `{other}`");
-                eprintln!("usage: repro_bench [--baseline BENCH_sim.json]");
+                eprintln!("usage: repro_bench [--baseline BENCH_sim.json] [--profile trace.json]");
                 return ExitCode::FAILURE;
             }
         }
@@ -413,11 +515,29 @@ fn main() -> ExitCode {
     let seed = 42;
 
     let sweeps = run_benches(scale, seed);
-    let alloc_per_event = measure_alloc_per_event(scale, seed);
+    let alloc_per_event = measure_alloc_per_event(scale, seed, false);
+    let alloc_per_event_obs = measure_alloc_per_event(scale, seed, true);
+
+    let rate_of = |name: &str| {
+        sweeps.iter().find(|s| s.name == name).map(|s| s.events_per_sec).unwrap_or(0.0)
+    };
+    let off_rate = rate_of(HOT_SWEEP);
+    let on_rate = rate_of("fig8_sweep_obs_on");
+    let rec = obs::summary();
+    let obs_summary = ObsBenchSummary {
+        events_recorded: rec.recorded,
+        events_dropped: rec.dropped,
+        tracks: rec.tracks,
+        off_events_per_sec: off_rate,
+        on_events_per_sec: on_rate,
+        on_overhead_pct: if on_rate > 0.0 { (off_rate / on_rate - 1.0) * 100.0 } else { 0.0 },
+    };
     let report = BenchReport {
         threads: thread_count(),
         scale: scale.0,
         alloc_per_event: Some(alloc_per_event),
+        alloc_per_event_obs: Some(alloc_per_event_obs),
+        obs: Some(obs_summary),
         sweeps,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -425,16 +545,21 @@ fn main() -> ExitCode {
     println!("{json}");
 
     let mut failed = false;
-    // The allocation gate is absolute: the request path must stay
-    // allocation-free regardless of what any baseline recorded.
-    if alloc_per_event > ALLOC_PER_EVENT_LIMIT {
-        eprintln!(
-            "FAIL: alloc_per_event {alloc_per_event:.4} exceeds {ALLOC_PER_EVENT_LIMIT} — \
-             the request path is allocating in steady state"
-        );
-        failed = true;
-    } else {
-        eprintln!("alloc_per_event {alloc_per_event:.4} (limit {ALLOC_PER_EVENT_LIMIT})");
+    // The allocation gates are absolute: the request path must stay
+    // allocation-free regardless of what any baseline recorded, with
+    // span recording off *and* on.
+    for (label, value) in
+        [("alloc_per_event", alloc_per_event), ("alloc_per_event_obs", alloc_per_event_obs)]
+    {
+        if value > ALLOC_PER_EVENT_LIMIT {
+            eprintln!(
+                "FAIL: {label} {value:.4} exceeds {ALLOC_PER_EVENT_LIMIT} — \
+                 the request path is allocating in steady state"
+            );
+            failed = true;
+        } else {
+            eprintln!("{label} {value:.4} (limit {ALLOC_PER_EVENT_LIMIT})");
+        }
     }
 
     if let Some(base) = base {
@@ -447,6 +572,9 @@ fn main() -> ExitCode {
             }
             failed = true;
         }
+    }
+    if let Some(path) = &profile {
+        obs::finish_profile(path);
     }
     if failed {
         return ExitCode::FAILURE;

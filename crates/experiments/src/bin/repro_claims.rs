@@ -9,6 +9,14 @@ fn main() {
         eprintln!("{msg}");
         std::process::exit(2);
     }
+    experiments::apply_progress_flag(&mut args);
+    let profile = match obs::apply_profile_flag(&mut args) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
     let scale = if args.iter().any(|a| a == "--quick") { Scale(8) } else { Scale::FULL };
     let report = all_claims(scale, 42);
     println!("{}", render_claims(&report));
@@ -17,5 +25,8 @@ fn main() {
         std::fs::write(path, serde_json::to_string_pretty(&report).expect("serialize"))
             .expect("write json");
         eprintln!("wrote {path}");
+    }
+    if let Some(path) = &profile {
+        obs::finish_profile(path);
     }
 }

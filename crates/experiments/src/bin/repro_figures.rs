@@ -9,6 +9,14 @@ fn main() {
         eprintln!("{msg}");
         std::process::exit(2);
     }
+    experiments::apply_progress_flag(&mut args);
+    let profile = match obs::apply_profile_flag(&mut args) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
     let scale = if args.iter().any(|a| a == "--quick") { Scale(8) } else { Scale::FULL };
     for (label, fig) in [("Figure 3", fig3(scale, 42)), ("Figure 4", fig4(scale, 42))] {
         println!("{label}: {} — mean {:.1} MB/s, peak {:.1} MB/s, {} peaks (spacing CV {:.2})",
@@ -17,5 +25,8 @@ fn main() {
             println!("dominant cycle period: {} s (autocorrelation {:.2})", p, fig.cycles.strength);
         }
         println!("{}", fig.plot);
+    }
+    if let Some(path) = &profile {
+        obs::finish_profile(path);
     }
 }

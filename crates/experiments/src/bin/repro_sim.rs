@@ -1,8 +1,37 @@
 //! Regenerate Figures 6, 7 and 8 (the buffering simulations).
+//!
+//! Observability flags (shared by every repro binary):
+//! * `--profile PATH` — record a Chrome trace-event / Perfetto timeline
+//!   of the run to PATH (also via `MILLER_PROFILE=PATH`).
+//! * `--progress` — stderr heartbeat during sweeps (also via
+//!   `MILLER_PROGRESS=1`).
+//!
+//! `--fig8-point MB:BLOCK` runs a single Figure 8 sweep point (e.g.
+//! `32:4096` = 32 MB cache, 4 KiB blocks) instead of the full set —
+//! the cheap way to capture a sample trace in CI.
 
-use experiments::figures::{fig6, fig7, fig8, render_fig8};
+use experiments::figures::{fig6, fig7, fig8, render_fig8, two_venus_report};
 use experiments::nplus1::{nplus1, render_nplus1};
 use experiments::Scale;
+use sim_core::units::MB;
+
+fn parse_fig8_point(raw: &str) -> Result<(u64, u64), String> {
+    let (mb, block) = raw
+        .split_once(':')
+        .ok_or_else(|| format!("--fig8-point wants MB:BLOCK, got `{raw}`"))?;
+    let mb: u64 = mb
+        .trim()
+        .parse()
+        .map_err(|_| format!("--fig8-point cache size must be an integer MB, got `{mb}`"))?;
+    let block: u64 = block
+        .trim()
+        .parse()
+        .map_err(|_| format!("--fig8-point block size must be an integer, got `{block}`"))?;
+    if mb == 0 || block == 0 {
+        return Err("--fig8-point sizes must be positive".into());
+    }
+    Ok((mb, block))
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
@@ -10,7 +39,64 @@ fn main() {
         eprintln!("{msg}");
         std::process::exit(2);
     }
+    experiments::apply_progress_flag(&mut args);
+    let profile = match obs::apply_profile_flag(&mut args) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
     let scale = if args.iter().any(|a| a == "--quick") { Scale(8) } else { Scale::FULL };
+
+    if let Some(i) = args.iter().position(|a| a == "--fig8-point") {
+        let raw = args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--fig8-point needs MB:BLOCK");
+            std::process::exit(2);
+        });
+        let (mb, block) = parse_fig8_point(&raw).unwrap_or_else(|msg| {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        });
+        // Through the sweep harness (a 1-point sweep) so a profiled run
+        // carries a host worker track alongside the simulated-process
+        // tracks — the trace then demonstrates both clock domains.
+        let mut reports = experiments::par_sweep(&[(mb, block)], |&(mb, block)| {
+            two_venus_report(
+                mb * MB,
+                block,
+                true,
+                buffer_cache::WritePolicy::WriteBehind,
+                scale,
+                42,
+            )
+        });
+        let r = reports.pop().expect("one sweep point");
+        println!(
+            "fig8 point {mb} MB / {block} B blocks: idle {:.1}s, utilization {:.1}%, hit ratio {:.3}",
+            r.idle_secs(),
+            r.utilization() * 100.0,
+            r.cache.hit_ratio()
+        );
+        println!(
+            "obs: ctx switches {}, sync blocks {}, idle transitions {}, wheel inserts {}, \
+             cascades {}, hinted probes {}, unhinted {}, disk seeks {}, sequential {}",
+            r.obs.scheduler.context_switches,
+            r.obs.scheduler.sync_blocks,
+            r.obs.scheduler.idle_transitions,
+            r.obs.timing_wheel.inserts,
+            r.obs.timing_wheel.cascades,
+            r.obs.cache.hinted_index_probes,
+            r.obs.cache.unhinted_index_probes,
+            r.obs.disks.seeks,
+            r.obs.disks.sequential_accesses,
+        );
+        if let Some(path) = &profile {
+            obs::finish_profile(path);
+        }
+        return;
+    }
+
     for (label, fig) in [("Figure 6", fig6(scale, 42)), ("Figure 7", fig7(scale, 42))] {
         println!(
             "{label}: 2 x venus, {} MB cache — idle {:.1}s, utilization {:.1}%, disk-traffic CV {:.2}",
@@ -30,5 +116,8 @@ fn main() {
         std::fs::write(path, serde_json::to_string_pretty(&f8).expect("serialize"))
             .expect("write json");
         eprintln!("wrote {path}");
+    }
+    if let Some(path) = &profile {
+        obs::finish_profile(path);
     }
 }

@@ -28,6 +28,9 @@ pub mod runner;
 pub mod tables;
 pub mod trace_store;
 
-pub use par_sweep::{apply_threads_flag, par_sweep, serial_sweep, thread_count};
+pub use par_sweep::{
+    apply_progress_flag, apply_threads_flag, par_sweep, progress_enabled, serial_sweep,
+    thread_count,
+};
 pub use runner::{app_events, app_trace, scaled_spec, Scale};
 pub use trace_store::{StoreFootprint, TraceArtifact, TraceStore};

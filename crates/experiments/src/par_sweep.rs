@@ -24,6 +24,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Number of worker threads a sweep will use.
 ///
@@ -65,6 +66,67 @@ pub fn apply_threads_flag(args: &mut Vec<String>) -> Result<(), String> {
     }
 }
 
+/// True when the sweep heartbeat reporter is on: `MILLER_PROGRESS` set
+/// to anything non-empty other than `0`.
+pub fn progress_enabled() -> bool {
+    std::env::var("MILLER_PROGRESS").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Consume a `--progress` flag from a binary's argument list, exporting
+/// `MILLER_PROGRESS=1` so every subsequent sweep reports a heartbeat.
+pub fn apply_progress_flag(args: &mut Vec<String>) {
+    if let Some(i) = args.iter().position(|a| a == "--progress") {
+        args.remove(i);
+        std::env::set_var("MILLER_PROGRESS", "1");
+    }
+}
+
+/// Throttled stderr heartbeat for a sweep: points completed, simulated
+/// ev/s since the sweep started, and a naive ETA.
+struct Progress {
+    total: usize,
+    started: Instant,
+    /// Simulated-event counter reading at sweep start; the rate is a
+    /// delta so concurrent/earlier sweeps don't inflate it.
+    ev0: u64,
+    last: Instant,
+}
+
+impl Progress {
+    /// A reporter when [`progress_enabled`], else `None`.
+    fn new(total: usize) -> Option<Progress> {
+        progress_enabled().then(|| {
+            let now = Instant::now();
+            Progress { total, started: now, ev0: obs::sim_events_total(), last: now }
+        })
+    }
+
+    /// Report at most twice a second.
+    fn maybe_report(&mut self, done: usize) {
+        if self.last.elapsed().as_millis() >= 500 {
+            self.report(done);
+        }
+    }
+
+    fn report(&mut self, done: usize) {
+        self.last = Instant::now();
+        let secs = self.started.elapsed().as_secs_f64().max(1e-9);
+        let events = obs::sim_events_total().saturating_sub(self.ev0);
+        let rate = events as f64 / secs;
+        let eta = if done > 0 {
+            let per_point = secs / done as f64;
+            format!("{:.0}s", per_point * (self.total - done) as f64)
+        } else {
+            "?".into()
+        };
+        eprintln!(
+            "[sweep] {done}/{} points | {:.2}M ev/s | ETA {eta}",
+            self.total,
+            rate / 1e6
+        );
+    }
+}
+
 /// Map `run` over `params` on a thread pool, returning results in
 /// parameter order.
 ///
@@ -72,6 +134,11 @@ pub fn apply_threads_flag(args: &mut Vec<String>) -> Result<(), String> {
 /// so long and short points interleave without static partitioning
 /// imbalance. A panic in any point propagates to the caller once the
 /// scope joins (matching the `.expect` behavior of a serial loop).
+///
+/// Observability: when span profiling is enabled each worker thread gets
+/// a host-domain Perfetto track carrying one `point` span per sweep
+/// point; when `MILLER_PROGRESS`/`--progress` is set a throttled
+/// heartbeat goes to stderr. Neither affects the results.
 pub fn par_sweep<P, R, F>(params: &[P], run: F) -> Vec<R>
 where
     P: Sync,
@@ -83,23 +150,70 @@ where
         return Vec::new();
     }
     let threads = thread_count().min(n);
+    let sweep_id = obs::enabled().then(obs::next_sweep_id);
+    let mut progress = Progress::new(n);
     if threads <= 1 {
-        return params.iter().map(run).collect();
+        let track = sweep_id
+            .map(|sid| obs::register_track(obs::Domain::Host, format!("sweep{sid} worker0")));
+        let out = params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let t0 = obs::host_now_ns();
+                let r = run(p);
+                if let Some(t) = track {
+                    let t1 = obs::host_now_ns();
+                    obs::complete(t, "point", t0, t1.saturating_sub(t0), Some(i as u64));
+                }
+                if let Some(prog) = progress.as_mut() {
+                    prog.maybe_report(i + 1);
+                }
+                r
+            })
+            .collect();
+        if let Some(prog) = progress.as_mut() {
+            prog.report(n);
+        }
+        return out;
     }
     let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let progress = progress.map(Mutex::new);
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+        for w in 0..threads {
+            let (next, done, slots, progress, run, params) =
+                (&next, &done, &slots, &progress, &run, params);
+            scope.spawn(move || {
+                let track = sweep_id.map(|sid| {
+                    obs::register_track(obs::Domain::Host, format!("sweep{sid} worker{w}"))
+                });
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let t0 = obs::host_now_ns();
+                    let result = run(&params[i]);
+                    if let Some(t) = track {
+                        let t1 = obs::host_now_ns();
+                        obs::complete(t, "point", t0, t1.saturating_sub(t0), Some(i as u64));
+                    }
+                    *slots[i].lock().expect("result slot lock") = Some(result);
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if let Some(prog) = progress.as_ref() {
+                        // Contended heartbeat attempts just skip a beat.
+                        if let Ok(mut prog) = prog.try_lock() {
+                            prog.maybe_report(finished);
+                        }
+                    }
                 }
-                let result = run(&params[i]);
-                *slots[i].lock().expect("result slot lock") = Some(result);
             });
         }
     });
+    if let Some(prog) = progress.as_ref() {
+        prog.lock().expect("progress lock").report(n);
+    }
     slots
         .into_iter()
         .map(|slot| {

@@ -1,0 +1,141 @@
+//! Per-subsystem counter registries, exported as the `obs` section of
+//! `SimReport` JSON.
+//!
+//! Counters are **always** collected — the increments are owned-`u64`
+//! adds on paths that already touch the same cache lines — so the `obs`
+//! section does not depend on whether span recording is enabled. That is
+//! what makes the determinism guarantee ("profiling on vs off produces
+//! byte-identical result JSON") hold without a parallel "counters off"
+//! code path to test.
+//!
+//! The timing-wheel counters live in `sim_core::QueueStats` (the queue
+//! cannot depend on this crate), and are re-aggregated here.
+
+use serde::{Deserialize, Serialize};
+use sim_core::{Histogram, QueueStats};
+
+/// Buffer-cache counters beyond the paper-facing `CacheStats`: index
+/// behavior and flush batching, the knobs that decide the cache's host
+/// cost rather than its simulated policy outcome.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheCounters {
+    /// Blocks found resident (mirrors `CacheStats::hit_blocks`).
+    pub hit_blocks: u64,
+    /// Blocks fetched from the device (mirrors `CacheStats::miss_blocks`).
+    pub miss_blocks: u64,
+    /// Clean blocks evicted.
+    pub clean_evictions: u64,
+    /// Dirty blocks evicted (each implies a device writeback).
+    pub dirty_evictions: u64,
+    /// Page-index probes answered by the caller-carried page hint
+    /// (no hash lookup).
+    pub hinted_index_probes: u64,
+    /// Page-index probes that fell through to the hash map (cold or
+    /// stale hint).
+    pub unhinted_index_probes: u64,
+    /// Non-empty flush batches handed to the flusher streams.
+    pub flush_batches: u64,
+}
+
+/// Disk-model counters: seek behavior across the farm.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DiskCounters {
+    /// Accesses that moved the head (paid seek + rotation).
+    pub seeks: u64,
+    /// Accesses exactly sequential with the previous one (free
+    /// positioning).
+    pub sequential_accesses: u64,
+    /// Power-of-two histogram of seek distances in bytes; `None` until a
+    /// disk contributes one (e.g. a report built by hand).
+    pub seek_distance_bytes: Option<Histogram>,
+}
+
+impl DiskCounters {
+    /// Fold another disk's counters in (farm aggregation).
+    pub fn merge(&mut self, other: &DiskCounters) {
+        self.seeks += other.seeks;
+        self.sequential_accesses += other.sequential_accesses;
+        match (&mut self.seek_distance_bytes, &other.seek_distance_bytes) {
+            (Some(a), Some(b)) => a.merge(b),
+            (slot @ None, Some(b)) => *slot = Some(b.clone()),
+            (_, None) => {}
+        }
+    }
+}
+
+/// Scheduler counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedCounters {
+    /// Dispatches (each charges one context switch).
+    pub context_switches: u64,
+    /// Synchronous requests that actually blocked their process.
+    pub sync_blocks: u64,
+    /// Transitions from "some CPU busy or runnable work pending" to
+    /// "every CPU idle with nothing runnable" — the §6.2 stall signature.
+    pub idle_transitions: u64,
+}
+
+/// The `obs` section of a `SimReport`: every subsystem's counters for
+/// one run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ObsReport {
+    /// Scheduler/dispatch counters.
+    pub scheduler: SchedCounters,
+    /// Buffer-cache index and flush counters (zeroed when uncached).
+    pub cache: CacheCounters,
+    /// Timing-wheel event-queue counters.
+    pub timing_wheel: QueueStats,
+    /// Aggregated disk-farm counters.
+    pub disks: DiskCounters,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_counters_merge_aggregates() {
+        let mut h1 = Histogram::pow2(4096, 1 << 20);
+        h1.record(5000.0);
+        let mut h2 = Histogram::pow2(4096, 1 << 20);
+        h2.record(100_000.0);
+        h2.record(200_000.0);
+        let mut a = DiskCounters {
+            seeks: 1,
+            sequential_accesses: 10,
+            seek_distance_bytes: Some(h1),
+        };
+        let b = DiskCounters {
+            seeks: 2,
+            sequential_accesses: 20,
+            seek_distance_bytes: Some(h2),
+        };
+        a.merge(&b);
+        assert_eq!(a.seeks, 3);
+        assert_eq!(a.sequential_accesses, 30);
+        assert_eq!(a.seek_distance_bytes.as_ref().unwrap().total(), 3);
+
+        // Merging into a None slot adopts the histogram.
+        let mut empty = DiskCounters::default();
+        empty.merge(&a);
+        assert_eq!(empty.seek_distance_bytes.as_ref().unwrap().total(), 3);
+        // And merging a None source is a no-op on the histogram.
+        empty.merge(&DiskCounters::default());
+        assert_eq!(empty.seek_distance_bytes.as_ref().unwrap().total(), 3);
+    }
+
+    #[test]
+    fn obs_report_roundtrips_through_json() {
+        let mut r = ObsReport::default();
+        r.scheduler.context_switches = 7;
+        r.cache.hinted_index_probes = 5;
+        r.timing_wheel.inserts = 9;
+        let json = serde_json::to_string(&r).expect("serializes");
+        assert!(json.contains("\"timing_wheel\""));
+        assert!(json.contains("\"hinted_index_probes\""));
+        let back: ObsReport = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back.scheduler, r.scheduler);
+        assert_eq!(back.cache, r.cache);
+        assert_eq!(back.timing_wheel.inserts, 9);
+    }
+}

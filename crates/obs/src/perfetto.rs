@@ -1,0 +1,216 @@
+//! Chrome trace-event JSON export, loadable in `ui.perfetto.dev`.
+//!
+//! The format is the venerable JSON array flavor: one object per event,
+//! `ph:"X"` complete spans (timestamp + duration, so no begin/end pair
+//! matching), `ph:"i"` instants, and `ph:"M"` metadata naming the
+//! processes and threads. Two synthetic "processes" separate the clock
+//! domains:
+//!
+//! * **pid 1 — simulated time.** One "thread" per simulated process and
+//!   per disk. Timestamps are sim ticks converted to microseconds
+//!   (1 tick = 10 µs), so the Perfetto timeline reads directly in
+//!   simulated wall time.
+//! * **pid 2 — host time.** One "thread" per sweep worker. Timestamps
+//!   are nanoseconds since the profiling epoch, emitted at µs precision
+//!   with a fractional part.
+//!
+//! Everything is written with deterministic integer formatting — no
+//! float-to-shortest codecs — so a given recorder state always exports
+//! byte-identical JSON.
+
+use crate::recorder::{Domain, Kind, RawEvent, TrackInfo, NO_ARG};
+use sim_core::TICK_MICROS;
+use std::path::Path;
+
+/// What an export wrote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExportSummary {
+    /// Span/instant events exported.
+    pub events: u64,
+    /// Events that were dropped by the ring and are *not* in the file.
+    pub dropped: u64,
+    /// Tracks (Perfetto thread rows) named in the file.
+    pub tracks: usize,
+}
+
+fn pid(domain: Domain) -> u32 {
+    match domain {
+        Domain::Sim => 1,
+        Domain::Host => 2,
+    }
+}
+
+/// Escape a string for a JSON string literal (track names are the only
+/// dynamic strings; event names are `&'static str` identifiers).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Append a timestamp in µs for `domain`: sim ticks are exact multiples
+/// of 10 µs; host ns are written as `µs.3-digit-fraction`.
+fn ts_into(out: &mut String, domain: Domain, raw: u64) {
+    match domain {
+        Domain::Sim => {
+            out.push_str(&(raw * TICK_MICROS).to_string());
+        }
+        Domain::Host => {
+            out.push_str(&format!("{}.{:03}", raw / 1000, raw % 1000));
+        }
+    }
+}
+
+/// Render the current recorder contents as a Chrome trace-event JSON
+/// document.
+pub fn chrome_trace_json() -> (String, ExportSummary) {
+    let snapshot = crate::recorder::snapshot();
+    render(&snapshot.events, &snapshot.tracks, snapshot.dropped)
+}
+
+fn render(events: &[RawEvent], tracks: &[TrackInfo], dropped: u64) -> (String, ExportSummary) {
+    // ~120 bytes per event plus headroom for metadata.
+    let mut out = String::with_capacity(events.len() * 120 + tracks.len() * 120 + 512);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    let push_sep = |out: &mut String, first: &mut bool| {
+        if *first {
+            *first = false;
+        } else {
+            out.push_str(",\n");
+        }
+    };
+
+    // Process metadata for the two clock domains (emitted whether or not
+    // a domain has tracks — two constant rows cost nothing).
+    for (p, name) in [(1u32, "simulated time"), (2u32, "host")] {
+        push_sep(&mut out, &mut first);
+        out.push_str(&format!(
+            "{{\"ph\":\"M\",\"pid\":{p},\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{{\"name\":\"{name}\"}}}}"
+        ));
+    }
+    // Thread (track) metadata. tid = track index + 1 (0 is the metadata
+    // row above).
+    for (i, t) in tracks.iter().enumerate() {
+        push_sep(&mut out, &mut first);
+        out.push_str(&format!(
+            "{{\"ph\":\"M\",\"pid\":{},\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":\"",
+            pid(t.domain),
+            i + 1
+        ));
+        escape_into(&mut out, &t.name);
+        out.push_str("\"}}");
+    }
+
+    let mut exported = 0u64;
+    for ev in events {
+        // An event on an unregistered track can only mean a torn test
+        // sequence; skip rather than emit a row Perfetto cannot place.
+        let Some(track) = tracks.get(ev.track as usize) else { continue };
+        push_sep(&mut out, &mut first);
+        exported += 1;
+        let p = pid(track.domain);
+        let tid = ev.track + 1;
+        match ev.kind {
+            Kind::Complete => {
+                out.push_str(&format!(
+                    "{{\"ph\":\"X\",\"pid\":{p},\"tid\":{tid},\"name\":\"{}\",\"cat\":\"{}\",\"ts\":",
+                    ev.name,
+                    cat(track.domain),
+                ));
+                ts_into(&mut out, track.domain, ev.ts);
+                out.push_str(",\"dur\":");
+                ts_into(&mut out, track.domain, ev.dur);
+            }
+            Kind::Instant => {
+                out.push_str(&format!(
+                    "{{\"ph\":\"i\",\"pid\":{p},\"tid\":{tid},\"name\":\"{}\",\"cat\":\"{}\",\"s\":\"t\",\"ts\":",
+                    ev.name,
+                    cat(track.domain),
+                ));
+                ts_into(&mut out, track.domain, ev.ts);
+            }
+        }
+        if ev.arg != NO_ARG {
+            out.push_str(&format!(",\"args\":{{\"value\":{}}}", ev.arg));
+        }
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    (
+        out,
+        ExportSummary { events: exported, dropped, tracks: tracks.len() },
+    )
+}
+
+fn cat(domain: Domain) -> &'static str {
+    match domain {
+        Domain::Sim => "sim",
+        Domain::Host => "host",
+    }
+}
+
+/// Write the current recorder contents to `path` as Chrome trace-event
+/// JSON. Call after profiled work has quiesced (workers joined).
+pub fn export_chrome_trace(path: &Path) -> std::io::Result<ExportSummary> {
+    let (json, summary) = chrome_trace_json();
+    std::fs::write(path, json)?;
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_deterministic_chrome_json() {
+        let tracks = vec![
+            TrackInfo { name: "sim0:venus#1".into(), domain: Domain::Sim },
+            TrackInfo { name: "sweep0 \"w0\"".into(), domain: Domain::Host },
+        ];
+        let events = vec![
+            RawEvent {
+                track: 0,
+                kind: Kind::Complete,
+                name: "run",
+                ts: 100,
+                dur: 25,
+                arg: NO_ARG,
+            },
+            RawEvent {
+                track: 1,
+                kind: Kind::Complete,
+                name: "point",
+                ts: 1_234_567,
+                dur: 2_000,
+                arg: 3,
+            },
+            RawEvent { track: 0, kind: Kind::Instant, name: "mark", ts: 130, dur: 0, arg: NO_ARG },
+            // Unregistered track: skipped, not emitted.
+            RawEvent { track: 9, kind: Kind::Instant, name: "lost", ts: 0, dur: 0, arg: NO_ARG },
+        ];
+        let (json, summary) = render(&events, &tracks, 5);
+        assert_eq!(summary.events, 3);
+        assert_eq!(summary.dropped, 5);
+        assert_eq!(summary.tracks, 2);
+        // Sim ticks ×10 µs; host ns → µs with 3-digit fraction.
+        assert!(json.contains("\"ts\":1000,\"dur\":250"), "{json}");
+        assert!(json.contains("\"ts\":1234.567,\"dur\":2.000"), "{json}");
+        assert!(json.contains("\\\"w0\\\""), "track names must be escaped: {json}");
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"thread_name\""));
+        assert!(!json.contains("lost"));
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        assert!(json.trim_end().ends_with("]}"));
+        // Byte-identical on re-render.
+        assert_eq!(render(&events, &tracks, 5).0, json);
+    }
+}

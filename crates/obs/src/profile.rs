@@ -1,0 +1,116 @@
+//! Profiling session plumbing shared by every binary: the `--profile`
+//! flag / `MILLER_PROFILE` env handshake, stable label counters for
+//! tracks, and the process-wide simulated-event counter the sweep
+//! heartbeat reads its ev/s from.
+
+use crate::perfetto::export_chrome_trace;
+use crate::recorder::{set_enabled, summary};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Consume a `--profile <path>` flag from `args` (falling back to the
+/// `MILLER_PROFILE` environment variable) and, when a path is present,
+/// enable span recording immediately. Returns the output path to pass to
+/// [`finish_profile`] once the profiled work is done, or an error
+/// message for a malformed flag.
+pub fn apply_profile_flag(args: &mut Vec<String>) -> Result<Option<String>, String> {
+    let path = match args.iter().position(|a| a == "--profile") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                return Err("--profile needs an output path".into());
+            }
+            let p = args.remove(i + 1);
+            args.remove(i);
+            Some(p)
+        }
+        None => std::env::var("MILLER_PROFILE").ok().filter(|p| !p.is_empty()),
+    };
+    if path.is_some() {
+        set_enabled(true);
+    }
+    Ok(path)
+}
+
+/// Stop recording and write the Chrome trace-event JSON to `path`,
+/// reporting the outcome on stderr. Export failure is reported, not
+/// fatal — a missing trace must never fail the run that produced the
+/// actual results.
+pub fn finish_profile(path: &str) {
+    set_enabled(false);
+    match export_chrome_trace(Path::new(path)) {
+        Ok(s) => {
+            let full = if s.dropped > 0 {
+                format!(" ({} more dropped: ring full, raise MILLER_PROFILE_CAP)", s.dropped)
+            } else {
+                String::new()
+            };
+            eprintln!(
+                "profile: wrote {path}: {} events on {} tracks{full} — open in ui.perfetto.dev",
+                s.events, s.tracks
+            );
+        }
+        Err(e) => eprintln!("profile: failed to write {path}: {e}"),
+    }
+    let _ = summary();
+}
+
+static SIM_EVENTS: AtomicU64 = AtomicU64::new(0);
+static SIM_IDS: AtomicU64 = AtomicU64::new(0);
+static SWEEP_IDS: AtomicU64 = AtomicU64::new(0);
+
+/// Add `n` to the process-wide simulated-I/O counter. The engine calls
+/// this once per completed run (not per event); the sweep heartbeat
+/// differences it for a live ev/s rate.
+#[inline]
+pub fn add_sim_events(n: u64) {
+    SIM_EVENTS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Total simulated I/Os completed by this process so far.
+#[inline]
+pub fn sim_events_total() -> u64 {
+    SIM_EVENTS.load(Ordering::Relaxed)
+}
+
+/// Monotonic id labelling one simulation's tracks ("sim3:venus#1").
+pub fn next_sim_id() -> u64 {
+    SIM_IDS.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Monotonic id labelling one sweep's worker tracks ("sweep2 worker0").
+pub fn next_sweep_id() -> u64 {
+    SWEEP_IDS.fetch_add(1, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The happy path (`--profile out.json` consumes the flag AND enables
+    // recording) mutates the process-global enabled flag, so it lives in
+    // the recorder's single sequenced test instead of here — tests in one
+    // binary run concurrently.
+    #[test]
+    fn profile_flag_rejects_missing_path() {
+        let mut bad: Vec<String> = ["bin", "--profile"].map(String::from).into();
+        assert!(apply_profile_flag(&mut bad).is_err());
+    }
+
+    #[test]
+    fn sim_event_counter_accumulates() {
+        let before = sim_events_total();
+        add_sim_events(120);
+        add_sim_events(3);
+        assert!(sim_events_total() >= before + 123);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let a = next_sim_id();
+        let b = next_sim_id();
+        assert_ne!(a, b);
+        let c = next_sweep_id();
+        let d = next_sweep_id();
+        assert_ne!(c, d);
+    }
+}

@@ -22,7 +22,7 @@ pub mod stats;
 pub mod time;
 pub mod units;
 
-pub use event::{EventQueue, Scheduled};
+pub use event::{EventQueue, QueueStats, Scheduled};
 pub use rng::SimRng;
 pub use stats::{Autocorrelation, Histogram, RateSeries, StreamingStats};
 pub use time::{SimDuration, SimTime, TICKS_PER_SECOND, TICK_MICROS};

@@ -156,18 +156,29 @@ impl Histogram {
         assert!(lo > 0 && lo < hi, "pow2 histogram needs 0 < lo < hi");
         let mut edges = Vec::new();
         let mut e = lo;
-        while e <= hi {
+        loop {
             edges.push(e as f64);
-            e *= 2;
+            match e.checked_mul(2) {
+                Some(next) if next <= hi => e = next,
+                _ => break,
+            }
         }
         Histogram::new(edges)
     }
 
     /// Record one observation.
     pub fn record(&mut self, value: f64) {
+        self.record_n(value, 1);
+    }
+
+    /// Record `n` observations of the same value — the bulk entry point
+    /// for callers that pre-bucket in their hot path (e.g. the disk
+    /// model's power-of-two seek-distance array) and materialize a
+    /// `Histogram` only at report time.
+    pub fn record_n(&mut self, value: f64, n: u64) {
         let idx = self.edges.partition_point(|&e| e <= value);
-        self.counts[idx] += 1;
-        self.total += 1;
+        self.counts[idx] += n;
+        self.total += n;
     }
 
     /// Total observations recorded.
@@ -186,10 +197,24 @@ impl Histogram {
         &self.edges
     }
 
+    /// Merge another histogram's counts into this one. Both histograms
+    /// must have been built over identical edges (e.g. per-disk seek
+    /// histograms aggregated across a farm).
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.edges, other.edges,
+            "can only merge histograms with identical edges"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+    }
+
     /// Approximate quantile (`q` in `[0,1]`) by bucket upper edge;
-    /// `None` when empty.
+    /// `None` when empty or `q` is NaN.
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        if self.total == 0 {
+        if self.total == 0 || q.is_nan() {
             return None;
         }
         let q = q.clamp(0.0, 1.0);
@@ -425,6 +450,73 @@ mod tests {
         assert_eq!(h.quantile(0.5), Some(4.0));
         assert_eq!(h.quantile(0.99), Some(1024.0));
         assert_eq!(Histogram::pow2(1, 2).quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_quantile_edge_cases() {
+        // Empty: every quantile is None, including the extremes.
+        let empty = Histogram::new(vec![8.0]);
+        assert_eq!(empty.quantile(0.0), None);
+        assert_eq!(empty.quantile(1.0), None);
+
+        // NaN never aliases to a real quantile.
+        let mut h = Histogram::new(vec![8.0]);
+        h.record(3.0);
+        assert_eq!(h.quantile(f64::NAN), None);
+
+        // Single-edge histogram (two buckets: below / at-or-above).
+        assert_eq!(h.quantile(0.0), Some(8.0));
+        assert_eq!(h.quantile(1.0), Some(8.0));
+        h.record(9.0);
+        // p0 reports the first occupied bucket's upper edge; p100 the last.
+        assert_eq!(h.quantile(0.0), Some(8.0));
+        assert_eq!(h.quantile(1.0), Some(8.0));
+
+        // p0/p100 with a spread across buckets land on first/last occupied.
+        let mut wide = Histogram::pow2(1, 1 << 10);
+        wide.record(3.0); // [2,4) -> upper edge 4
+        wide.record(600.0); // [512,1024) -> upper edge 1024
+        assert_eq!(wide.quantile(0.0), Some(4.0));
+        assert_eq!(wide.quantile(1.0), Some(1024.0));
+        // Out-of-range q clamps rather than panicking.
+        assert_eq!(wide.quantile(-3.0), Some(4.0));
+        assert_eq!(wide.quantile(7.0), Some(1024.0));
+    }
+
+    #[test]
+    fn pow2_survives_near_max_ranges() {
+        // The doubling loop must not overflow even when hi is close to
+        // u64::MAX (a naive `e *= 2` panics in debug builds here).
+        let h = Histogram::pow2(1 << 62, u64::MAX);
+        assert_eq!(h.edges().len(), 2);
+        assert_eq!(h.edges()[0], (1u64 << 62) as f64);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = Histogram::pow2(1024, 8192);
+        a.record(1500.0);
+        let mut b = Histogram::pow2(1024, 8192);
+        b.record(1600.0);
+        b.record(100_000.0);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        // [1024,2048) holds two, the overflow bucket holds one.
+        assert_eq!(a.counts()[1], 2);
+        assert_eq!(*a.counts().last().unwrap(), 1);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut bulk = Histogram::pow2(1024, 8192);
+        bulk.record_n(1500.0, 3);
+        bulk.record_n(100_000.0, 2);
+        let mut single = Histogram::pow2(1024, 8192);
+        for v in [1500.0, 1500.0, 1500.0, 100_000.0, 100_000.0] {
+            single.record(v);
+        }
+        assert_eq!(bulk.counts(), single.counts());
+        assert_eq!(bulk.total(), single.total());
     }
 
     #[test]

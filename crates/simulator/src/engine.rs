@@ -144,6 +144,13 @@ pub struct Simulation {
     disk_read_series: RateSeries,
     disk_write_series: RateSeries,
     wall_end: SimTime,
+    // observability: counters are collected unconditionally (cheap,
+    // deterministic); span tracks are registered only when profiling is
+    // enabled and the vectors stay empty otherwise.
+    sched_obs: obs::SchedCounters,
+    was_idle: bool,
+    proc_tracks: Vec<obs::Track>,
+    disk_tracks: Vec<obs::Track>,
 }
 
 impl Simulation {
@@ -181,6 +188,10 @@ impl Simulation {
             disk_read_series: RateSeries::new(config.series_bin),
             disk_write_series: RateSeries::new(config.series_bin),
             wall_end: SimTime::ZERO,
+            sched_obs: obs::SchedCounters::default(),
+            was_idle: false,
+            proc_tracks: Vec::new(),
+            disk_tracks: Vec::new(),
             config,
         }
     }
@@ -250,6 +261,13 @@ impl Simulation {
         match kind {
             AccessKind::Read => self.disk_read_series.add(now, length as f64),
             AccessKind::Write => self.disk_write_series.add(now, length as f64),
+        }
+        if let Some(&t) = self.disk_tracks.get(p.disk) {
+            let name = match kind {
+                AccessKind::Read => "disk_read",
+                AccessKind::Write => "disk_write",
+            };
+            obs::complete(t, name, now.ticks(), d.ticks(), Some(length));
         }
         d
     }
@@ -376,6 +394,11 @@ impl Simulation {
             + if completing { per_io } else { SimDuration::ZERO };
         self.free_cpus -= 1;
         self.slice_info[slot] = Some((compute, completing));
+        self.sched_obs.context_switches += 1;
+        if let Some(&t) = self.proc_tracks.get(slot) {
+            let name = if completing { "run+io" } else { "run" };
+            obs::complete(t, name, now.ticks(), slice.ticks(), None);
+        }
         self.queue.schedule(now + slice, Ev::SliceDone { slot });
         true
     }
@@ -501,6 +524,20 @@ impl Simulation {
 
     /// Run to completion and report.
     pub fn run(mut self) -> SimReport {
+        if obs::enabled() {
+            // One Perfetto row per simulated process and per disk. A
+            // monotonic id keeps the rows of concurrent simulations (e.g.
+            // sweep points) distinguishable.
+            let sim_id = obs::next_sim_id();
+            self.proc_tracks = self
+                .procs
+                .iter()
+                .map(|p| obs::register_track(obs::Domain::Sim, format!("sim{sim_id}:{}", p.name)))
+                .collect();
+            self.disk_tracks = (0..self.config.n_disks)
+                .map(|i| obs::register_track(obs::Domain::Sim, format!("sim{sim_id}:disk{i}")))
+                .collect();
+        }
         self.slice_info.resize(self.procs.len(), None);
         for slot in 0..self.procs.len() {
             if self.procs[slot].state == ProcState::Ready {
@@ -532,6 +569,16 @@ impl Simulation {
                         if ev.sync == Synchrony::Sync && !block.is_zero() {
                             p.state = ProcState::Blocked;
                             p.blocked_since = now;
+                            self.sched_obs.sync_blocks += 1;
+                            if let Some(&t) = self.proc_tracks.get(slot) {
+                                obs::complete(
+                                    t,
+                                    "io_wait",
+                                    now.ticks(),
+                                    block.ticks(),
+                                    Some(ev.length),
+                                );
+                            }
                             self.queue.schedule(now + block, Ev::IoDone { slot });
                         } else {
                             // Async request or a full cache hit: mark any
@@ -575,6 +622,15 @@ impl Simulation {
                     self.kick_flushers(now);
                 }
             }
+            // §6.2 stall signature: every CPU idle with nothing runnable
+            // while work remains (processes blocked on the disks).
+            let idle = self.free_cpus == self.config.n_cpus
+                && self.ready.is_empty()
+                && !self.all_done();
+            if idle && !self.was_idle {
+                self.sched_obs.idle_transitions += 1;
+            }
+            self.was_idle = idle;
             if self.all_done()
                 && self.free_cpus == self.config.n_cpus
                 && self.ready.is_empty()
@@ -627,6 +683,22 @@ impl Simulation {
             disk_totals.bytes_written += s.bytes_written;
             disk_totals.busy += s.busy;
         }
+        // Feed the process-wide event counter (sweep heartbeat ev/s).
+        obs::add_sim_events(self.procs.iter().map(|p| p.ios_issued).sum());
+        let mut disks_obs = obs::DiskCounters::default();
+        for d in &self.disks {
+            disks_obs.merge(&d.obs_counters());
+        }
+        let obs = obs::ObsReport {
+            scheduler: self.sched_obs.clone(),
+            cache: self
+                .cache
+                .as_ref()
+                .map(|c| c.obs_counters())
+                .unwrap_or_default(),
+            timing_wheel: self.queue.stats().clone(),
+            disks: disks_obs,
+        };
         SimReport {
             wall_end: end,
             n_cpus: self.config.n_cpus,
@@ -654,6 +726,7 @@ impl Simulation {
             logical_series: self.logical_series,
             disk_read_series: self.disk_read_series,
             disk_write_series: self.disk_write_series,
+            obs,
         }
     }
 }

@@ -51,6 +51,10 @@ pub struct SimReport {
     /// Wall-binned cache→disk write traffic (flushes, writebacks,
     /// write-through).
     pub disk_write_series: RateSeries,
+    /// Per-subsystem observability counters (scheduler, cache index,
+    /// timing wheel, disk seeks). Always collected; identical whether or
+    /// not span profiling is enabled.
+    pub obs: obs::ObsReport,
 }
 
 impl SimReport {
@@ -107,6 +111,7 @@ mod tests {
             logical_series: RateSeries::per_second(),
             disk_read_series: RateSeries::per_second(),
             disk_write_series: RateSeries::per_second(),
+            obs: obs::ObsReport::default(),
         };
         assert!((r.utilization() - 0.8).abs() < 1e-12);
         assert_eq!(r.idle_secs(), 20.0);
@@ -128,6 +133,7 @@ mod tests {
             logical_series: RateSeries::per_second(),
             disk_read_series: RateSeries::per_second(),
             disk_write_series: RateSeries::per_second(),
+            obs: obs::ObsReport::default(),
         };
         r.check_time_conservation();
     }
@@ -146,6 +152,7 @@ mod tests {
             logical_series: RateSeries::per_second(),
             disk_read_series: RateSeries::per_second(),
             disk_write_series: RateSeries::per_second(),
+            obs: obs::ObsReport::default(),
         };
         assert_eq!(r.utilization(), 0.0);
     }

@@ -9,6 +9,10 @@
 //! recycled buckets, and the engine's owned scratch buffers that margin
 //! is zero — the assertion leaves a whisker of slack only for the
 //! `RateSeries` bins doubling a couple more times in the longer run.
+//!
+//! A second phase repeats the measurement with `obs` span recording
+//! enabled: the flight recorder writes into pre-allocated ring slots and
+//! drops on overflow, so profiling must not reintroduce allocations.
 
 use iosim::{SimConfig, Simulation};
 use iotrace::{Direction, IoEvent, Synchrony, Trace};
@@ -106,5 +110,32 @@ fn steady_state_request_path_allocates_nothing() {
         "steady state must be allocation-free: {extra_allocs} extra allocations over \
          {extra_events} extra events ({per_event:.4}/event; small run {small_allocs}, \
          big run {big_allocs})"
+    );
+
+    // Phase 2, same fn (the allocator counter and the obs flag are
+    // process-global — a second #[test] would race): span recording on.
+    // Each run registers the same two process tracks (those allocations
+    // cancel in the differencing) and emits spans into the fixed-slot
+    // ring, which drops when full rather than growing — so recording
+    // must also be allocation-free per event.
+    obs::init(1 << 16);
+    obs::set_enabled(true);
+    run(&small_r, &small_w);
+
+    let b0 = allocs();
+    run(&small_r, &small_w);
+    let b1 = allocs();
+    run(&big_r, &big_w);
+    let b2 = allocs();
+    obs::set_enabled(false);
+
+    let extra_allocs_obs = (b2 - b1).saturating_sub(b1 - b0);
+    let per_event_obs = extra_allocs_obs as f64 / extra_events as f64;
+    assert!(
+        per_event_obs < 0.01,
+        "span recording must be allocation-free: {extra_allocs_obs} extra allocations over \
+         {extra_events} extra events ({per_event_obs:.4}/event; small run {}, big run {})",
+        b1 - b0,
+        b2 - b1
     );
 }

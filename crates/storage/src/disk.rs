@@ -18,7 +18,7 @@
 use crate::device::{AccessKind, BlockDevice, DeviceStats};
 use serde::{Deserialize, Serialize};
 use sim_core::units::MB;
-use sim_core::{SimDuration, SimTime};
+use sim_core::{Histogram, SimDuration, SimTime};
 
 /// Tunable disk parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -82,6 +82,15 @@ pub struct DiskModel {
     /// When the device finishes its current queue (queueing mode only).
     free_at: SimTime,
     stats: DeviceStats,
+    /// Accesses that moved the head.
+    seeks: u64,
+    /// Accesses exactly sequential with the previous one.
+    seq_accesses: u64,
+    /// Head travel per seek, pre-bucketed by `ilog2(bytes)`: one array
+    /// increment on the access path instead of a `Histogram` edge
+    /// search; [`DiskModel::obs_counters`] folds the buckets into the
+    /// reported power-of-two histogram.
+    seek_buckets: [u64; 64],
 }
 
 impl DiskModel {
@@ -93,6 +102,9 @@ impl DiskModel {
             head: 0,
             free_at: SimTime::ZERO,
             stats: DeviceStats::default(),
+            seeks: 0,
+            seq_accesses: 0,
+            seek_buckets: [0; 64],
         }
     }
 
@@ -110,6 +122,7 @@ impl DiskModel {
     /// the current head position. Zero when the request is exactly
     /// sequential with the previous one (the head is already there and the
     /// platter keeps streaming).
+    #[inline]
     pub fn position_cost(&self, offset: u64) -> SimDuration {
         if offset == self.head {
             return SimDuration::ZERO;
@@ -130,6 +143,26 @@ impl DiskModel {
         let secs = length as f64 / (self.params.transfer_mb_per_sec * MB as f64);
         SimDuration::from_secs_f64(secs)
     }
+
+    /// Observability counters for the `obs` report section: seek vs.
+    /// sequential-access split and the seek-distance distribution.
+    pub fn obs_counters(&self) -> obs::DiskCounters {
+        // Power-of-two edges make the bucket representative `2^i` land
+        // in exactly the bucket every distance in `[2^i, 2^(i+1))`
+        // would, so the folded histogram is identical to recording each
+        // seek directly.
+        let mut seek_hist = Histogram::pow2(4 * 1024, self.params.capacity.max(8 * 1024));
+        for (i, &n) in self.seek_buckets.iter().enumerate() {
+            if n > 0 {
+                seek_hist.record_n((1u64 << i) as f64, n);
+            }
+        }
+        obs::DiskCounters {
+            seeks: self.seeks,
+            sequential_accesses: self.seq_accesses,
+            seek_distance_bytes: Some(seek_hist),
+        }
+    }
 }
 
 impl BlockDevice for DiskModel {
@@ -141,6 +174,7 @@ impl BlockDevice for DiskModel {
         self.params.capacity
     }
 
+    #[inline]
     fn access(
         &mut self,
         now: SimTime,
@@ -148,6 +182,13 @@ impl BlockDevice for DiskModel {
         offset: u64,
         length: u64,
     ) -> SimDuration {
+        if offset == self.head {
+            self.seq_accesses += 1;
+        } else {
+            self.seeks += 1;
+            // abs_diff is nonzero here, so ilog2 is defined.
+            self.seek_buckets[self.head.abs_diff(offset).ilog2() as usize] += 1;
+        }
         let service =
             self.params.overhead + self.position_cost(offset) + self.transfer_time(length);
         let latency = if self.params.queueing {
@@ -254,6 +295,23 @@ mod tests {
         assert_eq!(d.stats().writes, 1);
         assert_eq!(d.stats().total_bytes(), 12288);
         assert!(d.stats().busy > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn obs_counters_split_seeks_from_sequential() {
+        let mut d = disk();
+        // First access from head 0 to offset 0 is "sequential" (no head
+        // movement); the follow-on at 4096 streams; the jump seeks.
+        d.access(SimTime::ZERO, AccessKind::Read, 0, 4096);
+        d.access(SimTime::ZERO, AccessKind::Read, 4096, 4096);
+        d.access(SimTime::ZERO, AccessKind::Read, 500 * MB, 4096);
+        let o = d.obs_counters();
+        assert_eq!(o.sequential_accesses, 2);
+        assert_eq!(o.seeks, 1);
+        let h = o.seek_distance_bytes.expect("disks always carry a histogram");
+        assert_eq!(h.total(), 1);
+        // The recorded distance is the actual head travel (~500 MB − 8 KB).
+        assert!(h.quantile(0.5).unwrap() >= (256 * MB) as f64);
     }
 
     #[test]
