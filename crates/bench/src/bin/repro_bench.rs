@@ -2,11 +2,15 @@
 //!
 //! Runs the Figure 6/7 fixed simulations, the Figure 8 cache sweep
 //! (through the parallel harness), the trace-generation and cold/warm
-//! trace-store benches, and the 64 MB LRU churn microbench, then writes
-//! `BENCH_sim.json` with wall seconds and an events-per-second rate for
-//! each sweep. "Events" are simulated I/O requests for the simulator
-//! sweeps, generated trace records for the generation bench, and index
-//! operations for the LRU microbench.
+//! trace-store benches (interleaved best-of-five pairs against fresh
+//! stores; a warm sweep slower than cold fails the run), the
+//! `shard_scale_10k` campaign — 1000 groups x 10 processes x 1 disk
+//! through the sharded engine at 1 and 8 shards, gated at >= 3x speedup
+//! on machines with >= 8 cores — and the 64 MB LRU churn microbench,
+//! then writes `BENCH_sim.json` with wall seconds and an
+//! events-per-second rate for each sweep. "Events" are simulated I/O
+//! requests for the simulator sweeps, generated trace records for the
+//! generation bench, and index operations for the LRU microbench.
 //!
 //! Thread count follows the harness: `MILLER_THREADS`, then
 //! `RAYON_NUM_THREADS`, then all available cores. `MILLER_BENCH_SCALE`
@@ -48,8 +52,8 @@ use buffer_cache::lru::LruIndex;
 use buffer_cache::{BlockCache, CacheConfig, ReadOutcome, WritePolicy, WriteOutcome};
 use miller_core::figures::{two_venus_report, two_venus_report_in};
 use miller_core::{
-    generate, par_sweep, scaled_spec, thread_count, AppKind, BlockDevice, DiskModel, DiskParams,
-    Scale, SimDuration, SimReport, SimTime, TraceStore,
+    generate, par_sweep, run_campaign, scaled_spec, thread_count, AppKind, BlockDevice,
+    CampaignSpec, DiskModel, DiskParams, Scale, SimDuration, SimReport, SimTime, TraceStore,
 };
 use serde::{Deserialize, Serialize};
 use sim_core::EventQueue;
@@ -253,25 +257,58 @@ fn run_benches(scale: Scale, seed: u64) -> Vec<SweepTiming> {
     sweeps.push(off_best.expect("five off repetitions ran"));
     sweeps.push(on_best.expect("five on repetitions ran"));
 
-    // The same grid against a private store: cold includes the one-time
-    // generation of both venus traces, warm re-runs with them memoized.
-    // cold − warm ≈ the total generation cost amortized over the sweep.
-    let store = TraceStore::new();
-    for name in ["fig8_sweep_cold_store", "fig8_sweep_warm_store"] {
-        sweeps.push(timed(name, || {
-            let counts = par_sweep(&fig8_jobs(), |&(mb, block)| {
-                let r = two_venus_report_in(
-                    &store,
-                    mb * MB,
-                    block,
-                    true,
-                    WritePolicy::WriteBehind,
-                    scale,
-                    seed,
-                );
-                ios_issued(&r)
-            });
-            counts.iter().sum()
+    // The same grid against a private store: cold pays the one-time
+    // generation of both venus traces, warm re-runs with them memoized —
+    // cold − warm ≈ the total generation cost amortized over the sweep,
+    // and a warm sweep can never legitimately be slower than a cold one
+    // (main gates on that). Measured like the hot sweep above: five
+    // interleaved cold/warm pairs, each pair against a FRESH store, best
+    // rep wins. The old single cold-block-then-warm-block measurement
+    // compared two different load windows on a shared machine and could
+    // report warm < cold.
+    let store_sweep = |store: &TraceStore| -> u64 {
+        let counts = par_sweep(&fig8_jobs(), |&(mb, block)| {
+            let r = two_venus_report_in(
+                store,
+                mb * MB,
+                block,
+                true,
+                WritePolicy::WriteBehind,
+                scale,
+                seed,
+            );
+            ios_issued(&r)
+        });
+        counts.iter().sum()
+    };
+    let mut cold_best: Option<SweepTiming> = None;
+    let mut warm_best: Option<SweepTiming> = None;
+    for _ in 0..5 {
+        let store = TraceStore::new();
+        let cold = timed("fig8_sweep_cold_store", || store_sweep(&store));
+        if cold_best.as_ref().is_none_or(|b| cold.wall_secs < b.wall_secs) {
+            cold_best = Some(cold);
+        }
+        let warm = timed("fig8_sweep_warm_store", || store_sweep(&store));
+        if warm_best.as_ref().is_none_or(|b| warm.wall_secs < b.wall_secs) {
+            warm_best = Some(warm);
+        }
+    }
+    sweeps.push(cold_best.expect("five cold repetitions ran"));
+    sweeps.push(warm_best.expect("five warm repetitions ran"));
+
+    // Cluster scale-out: the 10k-process / 1k-disk datacenter campaign
+    // through the sharded engine at 1 shard and at 8. Both runs produce
+    // the byte-identical report (pinned by the determinism tests); what
+    // this times is pure execution scaling. Campaign traces shrink with
+    // the bench divisor so the default run stays within minutes.
+    let mut spec = CampaignSpec::datacenter(1000, 10);
+    spec.scale = Scale(scale.0.saturating_mul(32).max(1));
+    spec.shared_file_every = 10; // one shared-file reader per group
+    for shards in [1usize, 8] {
+        let spec = spec.clone();
+        sweeps.push(timed(&format!("shard_scale_10k_s{shards}"), move || {
+            run_campaign(&spec, shards).ios_issued
         }));
     }
 
@@ -462,6 +499,10 @@ fn compare_baseline(report: &BenchReport, base: &BenchReport) -> Vec<String> {
 
 fn main() -> ExitCode {
     let mut argv: Vec<String> = std::env::args().collect();
+    if let Err(msg) = obs::apply_profile_capacity_flag(&mut argv) {
+        eprintln!("repro_bench: {msg}");
+        return ExitCode::FAILURE;
+    }
     let profile = match obs::apply_profile_flag(&mut argv) {
         Ok(p) => p,
         Err(msg) => {
@@ -523,6 +564,10 @@ fn main() -> ExitCode {
     };
     let off_rate = rate_of(HOT_SWEEP);
     let on_rate = rate_of("fig8_sweep_obs_on");
+    let cold_rate = rate_of("fig8_sweep_cold_store");
+    let warm_rate = rate_of("fig8_sweep_warm_store");
+    let shard1_rate = rate_of("shard_scale_10k_s1");
+    let shard8_rate = rate_of("shard_scale_10k_s8");
     let rec = obs::summary();
     let obs_summary = ObsBenchSummary {
         events_recorded: rec.recorded,
@@ -560,6 +605,41 @@ fn main() -> ExitCode {
         } else {
             eprintln!("{label} {value:.4} (limit {ALLOC_PER_EVENT_LIMIT})");
         }
+    }
+
+    // A warm store replays memoized traces the cold sweep had to
+    // generate, so warm can only legitimately be slower by noise:
+    // generation is ~1% of the sweep wall at the default scale. With
+    // interleaved best-of-five pairs the residual jitter is a point or
+    // two; 3% of slack clears that while still catching the 4.4%
+    // inversion the old cold-block-then-warm-block measurement recorded.
+    if warm_rate < cold_rate * 0.97 {
+        eprintln!(
+            "FAIL: warm store {warm_rate:.0} events/s is slower than cold {cold_rate:.0} — \
+             trace memoization is not paying for itself"
+        );
+        failed = true;
+    } else {
+        eprintln!("warm store {warm_rate:.0} events/s >= cold {cold_rate:.0} (3% slack)");
+    }
+
+    // The sharded-engine scaling gate. Both campaign runs process the
+    // same event count, so the rate ratio is the wall-clock speedup.
+    // Only gate where 8 shards can actually run in parallel; on smaller
+    // machines the number is still recorded, just informational.
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let speedup = if shard1_rate > 0.0 { shard8_rate / shard1_rate } else { 0.0 };
+    if cores >= 8 && speedup < 3.0 {
+        eprintln!(
+            "FAIL: shard_scale_10k speedup {speedup:.2}x at 8 shards on {cores} cores \
+             (gate: >= 3x)"
+        );
+        failed = true;
+    } else {
+        eprintln!(
+            "shard_scale_10k: {speedup:.2}x speedup at 8 shards on {cores} cores{}",
+            if cores >= 8 { " (gate: >= 3x)" } else { " (informational, gate needs >= 8 cores)" }
+        );
     }
 
     if let Some(base) = base {

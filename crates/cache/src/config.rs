@@ -83,6 +83,18 @@ impl CacheConfig {
         (self.capacity / self.block_size).max(1)
     }
 
+    /// This configuration cut down to one of `parts` equal cache
+    /// partitions: capacity is divided (never below one block) and every
+    /// policy switch is kept. Sharded simulations give each group
+    /// `cluster_config.partitioned(n_groups)` so the cluster-wide cache
+    /// budget stays comparable to a monolithic run.
+    pub fn partitioned(&self, parts: usize) -> CacheConfig {
+        let parts = parts.max(1) as u64;
+        let mut c = self.clone();
+        c.capacity = (self.capacity / parts).max(self.block_size);
+        c
+    }
+
     /// Validate invariants; panics on nonsense geometry. Called by
     /// [`crate::BlockCache::new`].
     pub fn validate(&self) {
@@ -115,6 +127,22 @@ mod tests {
         assert_eq!(WritePolicy::sprite(), WritePolicy::Delayed(SimDuration::from_secs(30)));
         assert!(CacheConfig::buffered(MB).read_ahead);
         assert_eq!(CacheConfig::unbuffered(MB).write_policy, WritePolicy::WriteThrough);
+    }
+
+    #[test]
+    fn partitioned_divides_capacity_and_keeps_policies() {
+        let c = CacheConfig::buffered(64 * MB);
+        let p = c.partitioned(8);
+        assert_eq!(p.capacity, 8 * MB);
+        assert_eq!(p.block_size, c.block_size);
+        assert_eq!(p.write_policy, c.write_policy);
+        assert!(p.read_ahead);
+        // Degenerate splits clamp to one block so validate() still holds.
+        let tiny = c.partitioned(usize::MAX);
+        assert_eq!(tiny.capacity, tiny.block_size);
+        tiny.validate();
+        // parts = 0 behaves as 1.
+        assert_eq!(c.partitioned(0).capacity, c.capacity);
     }
 
     #[test]

@@ -44,8 +44,10 @@
 pub mod cache;
 pub mod config;
 pub mod lru;
+pub mod partition;
 pub mod stats;
 
 pub use cache::{BlockCache, ByteRange, ReadOutcome, WriteOutcome};
 pub use config::{CacheConfig, WritePolicy};
+pub use partition::{range_owner, OWNERSHIP_STRIPE_BYTES};
 pub use stats::CacheStats;

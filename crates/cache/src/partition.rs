@@ -1,0 +1,70 @@
+//! Block-range ownership for partitioned (sharded) caches.
+//!
+//! A sharded simulation splits the cluster into groups, each owning one
+//! cache partition and disk farm. Private files live entirely inside
+//! their process's group, but **shared** files are striped across the
+//! groups by block range: every 1 MB stripe of a shared file has exactly
+//! one owner, so two groups never cache the same shared block and
+//! cross-group requests have a unique, deterministic destination.
+//!
+//! Ownership is a pure function of `(file_id, offset, n_groups)` —
+//! independent of shard count, thread assignment, and arrival order —
+//! which is one of the ingredients that make sharded runs byte-identical
+//! at any shard count.
+
+/// Stripe width for shared-file ownership: ownership changes every 1 MB.
+/// Wide enough that a typical request (tens to hundreds of KB) stays
+/// within one owner; narrow enough that a large shared file spreads over
+/// the whole cluster.
+pub const OWNERSHIP_STRIPE_BYTES: u64 = 1 << 20;
+
+/// The group owning byte `offset` of shared file `file_id`, among
+/// `n_groups` partitions (0 behaves as 1).
+///
+/// The file id is folded in so different shared files start their stripe
+/// rotation on different groups, spreading single-stripe files instead
+/// of piling them all onto group 0.
+pub fn range_owner(file_id: u32, offset: u64, n_groups: usize) -> usize {
+    let parts = n_groups.max(1) as u64;
+    let stripe = offset / OWNERSHIP_STRIPE_BYTES;
+    ((u64::from(file_id) + stripe) % parts) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ownership_is_stable_and_in_range() {
+        for g in [1usize, 2, 3, 7, 16] {
+            for file in [0x8000u32, 0x8001, 0x80ff] {
+                for off in [0u64, 1, OWNERSHIP_STRIPE_BYTES - 1, OWNERSHIP_STRIPE_BYTES, 1 << 30] {
+                    let o = range_owner(file, off, g);
+                    assert!(o < g);
+                    assert_eq!(o, range_owner(file, off, g), "pure function");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stripes_rotate_across_groups() {
+        let owners: Vec<usize> =
+            (0..8u64).map(|s| range_owner(0x8000, s * OWNERSHIP_STRIPE_BYTES, 4)).collect();
+        assert_eq!(owners, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        // Same offset, different file: shifted start.
+        assert_ne!(range_owner(0x8000, 0, 4), range_owner(0x8001, 0, 4));
+    }
+
+    #[test]
+    fn zero_groups_behaves_as_one() {
+        assert_eq!(range_owner(0x8000, 12345, 0), 0);
+    }
+
+    #[test]
+    fn offsets_within_a_stripe_share_an_owner() {
+        let a = range_owner(0x8004, 0, 7);
+        let b = range_owner(0x8004, OWNERSHIP_STRIPE_BYTES - 1, 7);
+        assert_eq!(a, b);
+    }
+}

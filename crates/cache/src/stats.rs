@@ -42,6 +42,27 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Accumulate another partition's counters into this one — used by
+    /// sharded runs to fold per-group cache statistics into one
+    /// cluster-wide snapshot. Every field is a sum, so the merged stats
+    /// satisfy the same invariants the parts do.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.read_calls += other.read_calls;
+        self.write_calls += other.write_calls;
+        self.accessed_blocks += other.accessed_blocks;
+        self.hit_blocks += other.hit_blocks;
+        self.readahead_hit_blocks += other.readahead_hit_blocks;
+        self.miss_blocks += other.miss_blocks;
+        self.prefetched_blocks += other.prefetched_blocks;
+        self.wasted_prefetch_blocks += other.wasted_prefetch_blocks;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.device_bytes_read += other.device_bytes_read;
+        self.device_bytes_written += other.device_bytes_written;
+        self.clean_evictions += other.clean_evictions;
+        self.dirty_evictions += other.dirty_evictions;
+    }
+
     /// Fraction of accessed blocks found resident (0 when nothing
     /// accessed).
     pub fn hit_ratio(&self) -> f64 {
@@ -101,6 +122,34 @@ mod tests {
         assert_eq!(s.hit_ratio(), 0.0);
         assert_eq!(s.read_absorption(), 0.0);
         s.check_invariants();
+    }
+
+    #[test]
+    fn merge_sums_and_preserves_invariants() {
+        let mut a = CacheStats {
+            accessed_blocks: 10,
+            hit_blocks: 7,
+            miss_blocks: 3,
+            bytes_read: 100,
+            dirty_evictions: 2,
+            ..Default::default()
+        };
+        let b = CacheStats {
+            accessed_blocks: 4,
+            hit_blocks: 1,
+            miss_blocks: 3,
+            bytes_read: 50,
+            clean_evictions: 5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.accessed_blocks, 14);
+        assert_eq!(a.hit_blocks, 8);
+        assert_eq!(a.miss_blocks, 6);
+        assert_eq!(a.bytes_read, 150);
+        assert_eq!(a.clean_evictions, 5);
+        assert_eq!(a.dirty_evictions, 2);
+        a.check_invariants();
     }
 
     #[test]

@@ -33,10 +33,10 @@ pub use buffer_cache::{BlockCache, CacheConfig, CacheStats, WritePolicy};
 pub use fs_map::{measure as measure_amplification, translate as translate_to_physical, Amplification, FsConfig, FsLayout};
 pub use experiments::{
     ablations, app_events, app_trace, claims, extras, figures, nplus1, par_sweep, render,
-    scaled_spec, serial_sweep, tables, thread_count, Scale, StoreFootprint, TraceArtifact,
-    TraceStore,
+    run_campaign, scaled_spec, serial_sweep, shard_count, tables, thread_count, CampaignSpec,
+    Scale, StoreFootprint, TraceArtifact, TraceStore,
 };
-pub use iosim::{CacheTier, SchedParams, SimConfig, SimReport, Simulation};
+pub use iosim::{CacheTier, ClusterReport, SchedParams, SimConfig, SimReport, Simulation};
 pub use iotrace::{
     measure_compression, read_trace, write_trace, CompressionReport, DataKind, Direction,
     IoEvent, Scope, Synchrony, Trace, TraceDecoder, TraceEncoder, TraceItem,

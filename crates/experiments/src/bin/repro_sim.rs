@@ -3,17 +3,45 @@
 //! Observability flags (shared by every repro binary):
 //! * `--profile PATH` — record a Chrome trace-event / Perfetto timeline
 //!   of the run to PATH (also via `MILLER_PROFILE=PATH`).
+//! * `--profile-capacity N` — size the flight-recorder ring to N events
+//!   (also via `MILLER_PROFILE_CAPACITY=N`).
 //! * `--progress` — stderr heartbeat during sweeps (also via
 //!   `MILLER_PROGRESS=1`).
+//! * `--threads N` / `--shards N` — sweep thread pool / sharded-engine
+//!   worker count (also `MILLER_THREADS` / `MILLER_SHARDS`).
 //!
 //! `--fig8-point MB:BLOCK` runs a single Figure 8 sweep point (e.g.
 //! `32:4096` = 32 MB cache, 4 KiB blocks) instead of the full set —
 //! the cheap way to capture a sample trace in CI.
+//!
+//! `--campaign GROUPSxPROCS` runs a cluster-scale sharded campaign
+//! instead (e.g. `1000x10` = 1000 groups of 10 processes) on
+//! `--shards N` worker threads; `--json PATH` then writes the
+//! [`iosim::ClusterReport`], which is byte-identical at any shard count.
 
+use experiments::campaign::{run_campaign, CampaignSpec};
 use experiments::figures::{fig6, fig7, fig8, render_fig8, two_venus_report};
 use experiments::nplus1::{nplus1, render_nplus1};
 use experiments::Scale;
 use sim_core::units::MB;
+
+fn parse_campaign(raw: &str) -> Result<(usize, usize), String> {
+    let (groups, procs) = raw
+        .split_once(['x', 'X'])
+        .ok_or_else(|| format!("--campaign wants GROUPSxPROCS (e.g. 1000x10), got `{raw}`"))?;
+    let groups: usize = groups
+        .trim()
+        .parse()
+        .map_err(|_| format!("--campaign group count must be an integer, got `{groups}`"))?;
+    let procs: usize = procs
+        .trim()
+        .parse()
+        .map_err(|_| format!("--campaign process count must be an integer, got `{procs}`"))?;
+    if groups == 0 || procs == 0 {
+        return Err("--campaign counts must be positive".into());
+    }
+    Ok((groups, procs))
+}
 
 fn parse_fig8_point(raw: &str) -> Result<(u64, u64), String> {
     let (mb, block) = raw
@@ -35,12 +63,7 @@ fn parse_fig8_point(raw: &str) -> Result<(u64, u64), String> {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
-    if let Err(msg) = experiments::apply_threads_flag(&mut args) {
-        eprintln!("{msg}");
-        std::process::exit(2);
-    }
-    experiments::apply_progress_flag(&mut args);
-    let profile = match obs::apply_profile_flag(&mut args) {
+    let profile = match experiments::apply_standard_flags(&mut args) {
         Ok(p) => p,
         Err(msg) => {
             eprintln!("{msg}");
@@ -48,6 +71,41 @@ fn main() {
         }
     };
     let scale = if args.iter().any(|a| a == "--quick") { Scale(8) } else { Scale::FULL };
+
+    if let Some(i) = args.iter().position(|a| a == "--campaign") {
+        let raw = args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--campaign needs GROUPSxPROCS");
+            std::process::exit(2);
+        });
+        let (groups, procs) = parse_campaign(&raw).unwrap_or_else(|msg| {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        });
+        let shards = experiments::shard_count();
+        let spec = CampaignSpec::datacenter(groups, procs);
+        let report = run_campaign(&spec, shards);
+        println!(
+            "campaign {groups}x{procs} on {shards} shard(s): {} processes, {} I/Os, \
+             {} epochs, {} remote ops ({} MB), utilization {:.1}%, hit ratio {:.3}",
+            report.total_processes,
+            report.ios_issued,
+            report.epochs,
+            report.remote_ops,
+            report.remote_bytes / MB,
+            report.utilization() * 100.0,
+            report.cache.hit_ratio(),
+        );
+        if let Some(j) = args.iter().position(|a| a == "--json") {
+            let path = args.get(j + 1).expect("--json needs a path");
+            std::fs::write(path, serde_json::to_string_pretty(&report).expect("serialize"))
+                .expect("write json");
+            eprintln!("wrote {path}");
+        }
+        if let Some(path) = &profile {
+            obs::finish_profile(path);
+        }
+        return;
+    }
 
     if let Some(i) = args.iter().position(|a| a == "--fig8-point") {
         let raw = args.get(i + 1).cloned().unwrap_or_else(|| {

@@ -9,12 +9,7 @@ use experiments::Scale;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
-    if let Err(msg) = experiments::apply_threads_flag(&mut args) {
-        eprintln!("{msg}");
-        std::process::exit(2);
-    }
-    experiments::apply_progress_flag(&mut args);
-    let profile = match obs::apply_profile_flag(&mut args) {
+    let profile = match experiments::apply_standard_flags(&mut args) {
         Ok(p) => p,
         Err(msg) => {
             eprintln!("{msg}");

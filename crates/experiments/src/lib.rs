@@ -16,8 +16,10 @@
 //! | [`nplus1`] | the §2.2 "n+1 jobs keep n CPUs busy" rule |
 //! | [`extras`] | appendix compression study + Amdahl balance sheet |
 //! | [`ablations`] | read-ahead / write policy / quantum / queueing sweeps |
+//! | [`campaign`] | cluster-scale sharded campaigns (beyond the paper) |
 
 pub mod ablations;
+pub mod campaign;
 pub mod claims;
 pub mod extras;
 pub mod figures;
@@ -28,9 +30,10 @@ pub mod runner;
 pub mod tables;
 pub mod trace_store;
 
+pub use campaign::{run_campaign, CampaignSpec};
 pub use par_sweep::{
-    apply_progress_flag, apply_threads_flag, par_sweep, progress_enabled, serial_sweep,
-    thread_count,
+    apply_progress_flag, apply_shards_flag, apply_standard_flags, apply_threads_flag, par_sweep,
+    progress_enabled, serial_sweep, shard_count, thread_count,
 };
 pub use runner::{app_events, app_trace, scaled_spec, Scale};
 pub use trace_store::{StoreFootprint, TraceArtifact, TraceStore};

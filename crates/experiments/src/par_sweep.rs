@@ -66,6 +66,41 @@ pub fn apply_threads_flag(args: &mut Vec<String>) -> Result<(), String> {
     }
 }
 
+/// Number of engine shards a sharded campaign will use.
+///
+/// Reads `MILLER_SHARDS` (a positive integer); unset/invalid values
+/// default to 1 — sharding is opt-in, and one shard is always correct
+/// because the report is shard-count-invariant by construction.
+pub fn shard_count() -> usize {
+    std::env::var("MILLER_SHARDS")
+        .ok()
+        .and_then(|raw| raw.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// Consume a `--shards N` flag from a binary's argument list, exporting
+/// it as `MILLER_SHARDS` so every subsequent sharded run (and any child
+/// the process spawns) sees it. Returns an error message when the flag
+/// is present but malformed.
+pub fn apply_shards_flag(args: &mut Vec<String>) -> Result<(), String> {
+    let Some(i) = args.iter().position(|a| a == "--shards") else {
+        return Ok(());
+    };
+    if i + 1 >= args.len() {
+        return Err("--shards needs a value".into());
+    }
+    let raw = args.remove(i + 1);
+    args.remove(i);
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => {
+            std::env::set_var("MILLER_SHARDS", n.to_string());
+            Ok(())
+        }
+        _ => Err(format!("--shards needs a positive integer, got `{raw}`")),
+    }
+}
+
 /// True when the sweep heartbeat reporter is on: `MILLER_PROGRESS` set
 /// to anything non-empty other than `0`.
 pub fn progress_enabled() -> bool {
@@ -79,6 +114,19 @@ pub fn apply_progress_flag(args: &mut Vec<String>) {
         args.remove(i);
         std::env::set_var("MILLER_PROGRESS", "1");
     }
+}
+
+/// Apply the flag set every repro binary shares, in the required order:
+/// `--threads N`, `--shards N`, `--progress`, `--profile-capacity N`
+/// (which must precede `--profile` so the ring is sized before recording
+/// can allocate it), then `--profile PATH`. Returns the profile output
+/// path to hand to [`obs::finish_profile`], or the first flag error.
+pub fn apply_standard_flags(args: &mut Vec<String>) -> Result<Option<String>, String> {
+    apply_threads_flag(args)?;
+    apply_shards_flag(args)?;
+    apply_progress_flag(args);
+    obs::apply_profile_capacity_flag(args)?;
+    obs::apply_profile_flag(args)
 }
 
 /// Throttled stderr heartbeat for a sweep: points completed, simulated
@@ -282,5 +330,22 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(thread_count() >= 1);
+    }
+
+    // Only the error paths: the happy path exports MILLER_SHARDS, and
+    // tests in one binary run concurrently, so it is exercised end-to-end
+    // by the CI determinism guard (`repro-sim --campaign ... --shards 4`)
+    // instead of here.
+    #[test]
+    fn shards_flag_rejects_bad_values() {
+        let mut missing: Vec<String> = ["bin", "--shards"].map(String::from).into();
+        assert!(apply_shards_flag(&mut missing).is_err());
+        let mut zero: Vec<String> = ["bin", "--shards", "0"].map(String::from).into();
+        assert!(apply_shards_flag(&mut zero).is_err());
+        let mut junk: Vec<String> = ["bin", "--shards", "many"].map(String::from).into();
+        assert!(apply_shards_flag(&mut junk).is_err());
+        let mut absent: Vec<String> = ["bin", "--quick"].map(String::from).into();
+        assert!(apply_shards_flag(&mut absent).is_ok());
+        assert_eq!(absent.len(), 2);
     }
 }

@@ -37,6 +37,19 @@ pub struct CacheCounters {
     pub flush_batches: u64,
 }
 
+impl CacheCounters {
+    /// Fold another partition's counters in (cross-shard aggregation).
+    pub fn merge(&mut self, other: &CacheCounters) {
+        self.hit_blocks += other.hit_blocks;
+        self.miss_blocks += other.miss_blocks;
+        self.clean_evictions += other.clean_evictions;
+        self.dirty_evictions += other.dirty_evictions;
+        self.hinted_index_probes += other.hinted_index_probes;
+        self.unhinted_index_probes += other.unhinted_index_probes;
+        self.flush_batches += other.flush_batches;
+    }
+}
+
 /// Disk-model counters: seek behavior across the farm.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct DiskCounters {
@@ -75,6 +88,15 @@ pub struct SchedCounters {
     pub idle_transitions: u64,
 }
 
+impl SchedCounters {
+    /// Fold another scheduler's counters in (cross-shard aggregation).
+    pub fn merge(&mut self, other: &SchedCounters) {
+        self.context_switches += other.context_switches;
+        self.sync_blocks += other.sync_blocks;
+        self.idle_transitions += other.idle_transitions;
+    }
+}
+
 /// The `obs` section of a `SimReport`: every subsystem's counters for
 /// one run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -87,6 +109,18 @@ pub struct ObsReport {
     pub timing_wheel: QueueStats,
     /// Aggregated disk-farm counters.
     pub disks: DiskCounters,
+}
+
+impl ObsReport {
+    /// Fold another group's report in: every subsystem's counters sum.
+    /// Sharded runs use this to aggregate per-shard reports into the
+    /// cluster-wide `obs` section.
+    pub fn merge(&mut self, other: &ObsReport) {
+        self.scheduler.merge(&other.scheduler);
+        self.cache.merge(&other.cache);
+        self.timing_wheel.merge(&other.timing_wheel);
+        self.disks.merge(&other.disks);
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +156,31 @@ mod tests {
         // And merging a None source is a no-op on the histogram.
         empty.merge(&DiskCounters::default());
         assert_eq!(empty.seek_distance_bytes.as_ref().unwrap().total(), 3);
+    }
+
+    #[test]
+    fn report_merge_sums_every_subsystem() {
+        let mut a = ObsReport::default();
+        a.scheduler.context_switches = 3;
+        a.cache.hit_blocks = 10;
+        a.timing_wheel.inserts = 100;
+        a.disks.seeks = 1;
+        let mut b = ObsReport::default();
+        b.scheduler.context_switches = 4;
+        b.scheduler.sync_blocks = 2;
+        b.cache.hit_blocks = 5;
+        b.cache.flush_batches = 6;
+        b.timing_wheel.inserts = 50;
+        b.timing_wheel.cascades = 7;
+        b.disks.seeks = 2;
+        a.merge(&b);
+        assert_eq!(a.scheduler.context_switches, 7);
+        assert_eq!(a.scheduler.sync_blocks, 2);
+        assert_eq!(a.cache.hit_blocks, 15);
+        assert_eq!(a.cache.flush_batches, 6);
+        assert_eq!(a.timing_wheel.inserts, 150);
+        assert_eq!(a.timing_wheel.cascades, 7);
+        assert_eq!(a.disks.seeks, 3);
     }
 
     #[test]

@@ -34,10 +34,10 @@ pub mod recorder;
 pub use counters::{CacheCounters, DiskCounters, ObsReport, SchedCounters};
 pub use perfetto::{chrome_trace_json, export_chrome_trace, ExportSummary};
 pub use profile::{
-    add_sim_events, apply_profile_flag, finish_profile, next_sim_id, next_sweep_id,
-    sim_events_total,
+    add_sim_events, apply_profile_capacity_flag, apply_profile_flag, finish_profile, next_sim_id,
+    next_sweep_id, sim_events_total,
 };
 pub use recorder::{
-    complete, enabled, host_now_ns, init, instant, register_track, reset, set_enabled, summary,
-    Domain, RecorderSummary, Track,
+    complete, configured_capacity, enabled, host_now_ns, init, instant, register_track, reset,
+    set_enabled, summary, Domain, RecorderSummary, Track,
 };

@@ -4,9 +4,48 @@
 //! heartbeat reads its ev/s from.
 
 use crate::perfetto::export_chrome_trace;
-use crate::recorder::{set_enabled, summary};
+use crate::recorder::{init, set_enabled, summary};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Consume a `--profile-capacity <events>` flag from `args`, sizing the
+/// flight-recorder ring before anything allocates it. The value is also
+/// exported as `MILLER_PROFILE_CAPACITY` so lazily-initialized recorders
+/// (and child processes) agree. Returns the capacity when the flag (or a
+/// pre-existing `MILLER_PROFILE_CAPACITY`) was present, `None` when
+/// defaulted, or an error message for a malformed flag.
+///
+/// Call this *before* [`apply_profile_flag`]: once `--profile` enables
+/// recording, the first emit allocates the ring and the capacity is
+/// locked in ("first capacity wins").
+pub fn apply_profile_capacity_flag(args: &mut Vec<String>) -> Result<Option<usize>, String> {
+    let capacity = match args.iter().position(|a| a == "--profile-capacity") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                return Err("--profile-capacity needs an event count".into());
+            }
+            let raw = args.remove(i + 1);
+            args.remove(i);
+            match raw.trim().parse::<usize>() {
+                Ok(c) if c >= 1 => Some(c),
+                _ => {
+                    return Err(format!(
+                        "--profile-capacity needs a positive event count, got `{raw}`"
+                    ))
+                }
+            }
+        }
+        None => std::env::var("MILLER_PROFILE_CAPACITY")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&c| c >= 1),
+    };
+    if let Some(c) = capacity {
+        std::env::set_var("MILLER_PROFILE_CAPACITY", c.to_string());
+        init(c);
+    }
+    Ok(capacity)
+}
 
 /// Consume a `--profile <path>` flag from `args` (falling back to the
 /// `MILLER_PROFILE` environment variable) and, when a path is present,
@@ -40,7 +79,10 @@ pub fn finish_profile(path: &str) {
     match export_chrome_trace(Path::new(path)) {
         Ok(s) => {
             let full = if s.dropped > 0 {
-                format!(" ({} more dropped: ring full, raise MILLER_PROFILE_CAP)", s.dropped)
+                format!(
+                    " ({} more dropped: ring full, raise --profile-capacity/MILLER_PROFILE_CAPACITY)",
+                    s.dropped
+                )
             } else {
                 String::new()
             };
@@ -48,10 +90,22 @@ pub fn finish_profile(path: &str) {
                 "profile: wrote {path}: {} events on {} tracks{full} — open in ui.perfetto.dev",
                 s.events, s.tracks
             );
+            let rec = summary();
+            if s.dropped > rec.recorded {
+                // More than half of everything emitted fell on the floor:
+                // the trace is a fragment, not a timeline. Make the loss
+                // impossible to miss.
+                eprintln!(
+                    "profile: WARNING: dropped {} of {} events (>50%) — trace covers only the \
+                     run's start; rerun with --profile-capacity {} or more",
+                    s.dropped,
+                    s.dropped + rec.recorded,
+                    (s.dropped + rec.recorded).next_power_of_two()
+                );
+            }
         }
         Err(e) => eprintln!("profile: failed to write {path}: {e}"),
     }
-    let _ = summary();
 }
 
 static SIM_EVENTS: AtomicU64 = AtomicU64::new(0);
@@ -94,6 +148,21 @@ mod tests {
     fn profile_flag_rejects_missing_path() {
         let mut bad: Vec<String> = ["bin", "--profile"].map(String::from).into();
         assert!(apply_profile_flag(&mut bad).is_err());
+    }
+
+    // The happy path for `--profile-capacity` lives in the recorder's
+    // sequenced test for the same reason: it allocates the process-global
+    // ring and exports an env var.
+    #[test]
+    fn profile_capacity_flag_rejects_bad_values() {
+        let mut missing: Vec<String> = ["bin", "--profile-capacity"].map(String::from).into();
+        assert!(apply_profile_capacity_flag(&mut missing).is_err());
+        let mut zero: Vec<String> =
+            ["bin", "--profile-capacity", "0"].map(String::from).into();
+        assert!(apply_profile_capacity_flag(&mut zero).is_err());
+        let mut junk: Vec<String> =
+            ["bin", "--profile-capacity", "lots"].map(String::from).into();
+        assert!(apply_profile_capacity_flag(&mut junk).is_err());
     }
 
     #[test]

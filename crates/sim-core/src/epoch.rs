@@ -1,0 +1,110 @@
+//! Epoch barriers for conservative parallel simulation.
+//!
+//! A sharded simulation advances its partitions independently between
+//! **barriers** placed on multiples of a fixed epoch duration. Between
+//! barriers no cross-partition interaction happens; at a barrier the
+//! coordinator exchanges whatever messages accumulated and picks the
+//! next barrier. Two properties make the scheme deterministic at any
+//! shard count:
+//!
+//! 1. The barrier schedule is a pure function of *simulation state*
+//!    (the minimum pending event time across partitions), never of
+//!    which worker thread ran what.
+//! 2. Barriers land on epoch multiples, so a partition advanced "too
+//!    far" can never exist — every partition stops at exactly the same
+//!    simulated instant.
+//!
+//! [`EpochClock::next_barrier`] additionally skips empty epochs: when
+//! the nearest pending event is many epochs away, the next barrier
+//! jumps straight to the epoch window containing it instead of
+//! ticking through silence one epoch at a time.
+
+use crate::time::{SimDuration, SimTime};
+
+/// The barrier schedule of one sharded run: barriers sit on multiples
+/// of `epoch`.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochClock {
+    /// Barrier spacing in ticks (always ≥ 1).
+    epoch: u64,
+}
+
+impl EpochClock {
+    /// A schedule with barriers every `epoch` (clamped to ≥ 1 tick).
+    pub fn new(epoch: SimDuration) -> EpochClock {
+        EpochClock { epoch: epoch.ticks().max(1) }
+    }
+
+    /// Barrier spacing.
+    pub fn epoch(&self) -> SimDuration {
+        SimDuration::from_ticks(self.epoch)
+    }
+
+    /// The earliest barrier at or after `min_pending`: the smallest
+    /// multiple of the epoch that is ≥ `min_pending`. Because the caller
+    /// passes the minimum pending event time — which is strictly past
+    /// the previous barrier once that barrier has been fully advanced —
+    /// consecutive calls yield a strictly increasing barrier sequence
+    /// without ever stepping through event-free epochs.
+    ///
+    /// Saturates at `u64::MAX` rather than overflowing for pathological
+    /// far-future events.
+    pub fn next_barrier(&self, min_pending: SimTime) -> SimTime {
+        let t = min_pending.ticks();
+        let k = t / self.epoch + u64::from(!t.is_multiple_of(self.epoch));
+        SimTime::from_ticks(k.saturating_mul(self.epoch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barriers_land_on_epoch_multiples() {
+        let c = EpochClock::new(SimDuration::from_ticks(100));
+        assert_eq!(c.next_barrier(SimTime::ZERO), SimTime::ZERO);
+        assert_eq!(c.next_barrier(SimTime::from_ticks(1)), SimTime::from_ticks(100));
+        assert_eq!(c.next_barrier(SimTime::from_ticks(100)), SimTime::from_ticks(100));
+        assert_eq!(c.next_barrier(SimTime::from_ticks(101)), SimTime::from_ticks(200));
+    }
+
+    #[test]
+    fn empty_epochs_are_skipped() {
+        let c = EpochClock::new(SimDuration::from_ticks(100));
+        // An event 10k epochs out jumps the barrier straight there.
+        assert_eq!(
+            c.next_barrier(SimTime::from_ticks(1_000_050)),
+            SimTime::from_ticks(1_000_100)
+        );
+    }
+
+    #[test]
+    fn zero_epoch_clamps_to_one_tick() {
+        let c = EpochClock::new(SimDuration::ZERO);
+        assert_eq!(c.epoch(), SimDuration::from_ticks(1));
+        assert_eq!(c.next_barrier(SimTime::from_ticks(7)), SimTime::from_ticks(7));
+    }
+
+    #[test]
+    fn far_future_saturates() {
+        let c = EpochClock::new(SimDuration::from_ticks(3));
+        let far = SimTime::from_ticks(u64::MAX - 1);
+        assert!(c.next_barrier(far) >= far);
+    }
+
+    #[test]
+    fn barrier_sequence_is_strictly_increasing() {
+        // Simulates the coordinator loop: after advancing to barrier E,
+        // the minimum pending time is > E, so the next barrier is > E.
+        let c = EpochClock::new(SimDuration::from_ticks(64));
+        let mut barrier = SimTime::ZERO;
+        for step in [1u64, 63, 64, 65, 4096, 4097] {
+            let min_pending = barrier + SimDuration::from_ticks(step);
+            let next = c.next_barrier(min_pending);
+            assert!(next > barrier, "{next} !> {barrier}");
+            assert!(next >= min_pending);
+            barrier = next;
+        }
+    }
+}

@@ -56,6 +56,18 @@ pub struct QueueStats {
     pub overflow_spills: u64,
 }
 
+impl QueueStats {
+    /// Fold another queue's counters in — shard aggregation: a sharded
+    /// run reports one `timing_wheel` section summed over its per-shard
+    /// wheels.
+    pub fn merge(&mut self, other: &QueueStats) {
+        self.inserts += other.inserts;
+        self.pops += other.pops;
+        self.cascades += other.cascades;
+        self.overflow_spills += other.overflow_spills;
+    }
+}
+
 /// A scheduled event: a payload tagged with its firing time.
 #[derive(Debug, Clone)]
 pub struct Scheduled<E> {
@@ -291,6 +303,18 @@ impl<E> EventQueue<E> {
         Some((SimTime::from_ticks(e.at), e.event))
     }
 
+    /// Pop the earliest event only if it fires at or before `limit` —
+    /// the epoch-bounded drain a sharded simulation advances with. The
+    /// clock only moves when an event is actually popped, so after a
+    /// bounded drain `now()` never exceeds `limit` and barrier-time
+    /// scheduling stays causal.
+    pub fn pop_before(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(t) if t <= limit => self.pop(),
+            _ => None,
+        }
+    }
+
     /// Firing time of the next event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
         if let Some(e) = self.current.last() {
@@ -466,6 +490,35 @@ mod tests {
             assert_eq!(got, want);
         }
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_before_respects_the_limit_and_the_clock() {
+        let mut q = EventQueue::new();
+        for t in [4095u64, 4096, 4097] {
+            q.schedule(SimTime::from_ticks(t), t);
+        }
+        // Limit exactly on a level-1→2 wheel boundary (4096 = 64²): the
+        // boundary event itself is due, the next tick is not.
+        let limit = SimTime::from_ticks(4096);
+        assert_eq!(q.pop_before(limit), Some((SimTime::from_ticks(4095), 4095)));
+        assert_eq!(q.pop_before(limit), Some((SimTime::from_ticks(4096), 4096)));
+        assert_eq!(q.pop_before(limit), None);
+        // A bounded drain must not advance the clock past the limit —
+        // scheduling at limit-time afterwards has to stay legal.
+        assert!(q.now() <= limit);
+        q.schedule(limit, 9999);
+        assert_eq!(q.pop_before(limit), Some((limit, 9999)));
+        assert_eq!(q.pop_before(SimTime::from_ticks(u64::MAX)), Some((SimTime::from_ticks(4097), 4097)));
+        assert!(q.pop_before(SimTime::from_ticks(u64::MAX)).is_none());
+    }
+
+    #[test]
+    fn queue_stats_merge_sums_all_counters() {
+        let a = QueueStats { inserts: 1, pops: 2, cascades: 3, overflow_spills: 4 };
+        let mut b = QueueStats { inserts: 10, pops: 20, cascades: 30, overflow_spills: 40 };
+        b.merge(&a);
+        assert_eq!(b, QueueStats { inserts: 11, pops: 22, cascades: 33, overflow_spills: 44 });
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //!
 //! * [`event`] — a deterministic event queue with stable FIFO ordering for
 //!   simultaneous events, the backbone of the buffering simulator;
+//! * [`epoch`] — the barrier schedule sharded (conservative-parallel)
+//!   simulations advance between;
 //! * [`rng`] — seeded, reproducible random number generation (ChaCha8) plus
 //!   the small set of distributions the workload models need;
 //! * [`stats`] — streaming summary statistics, histograms, the 1-second
@@ -16,12 +18,14 @@
 //! * [`units`] — Cray Y-MP era unit constants (8-byte words, megawords,
 //!   512-byte trace blocks, device rates).
 
+pub mod epoch;
 pub mod event;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod units;
 
+pub use epoch::EpochClock;
 pub use event::{EventQueue, QueueStats, Scheduled};
 pub use rng::SimRng;
 pub use stats::{Autocorrelation, Histogram, RateSeries, StreamingStats};

@@ -47,6 +47,9 @@ pub enum AddProcessError {
         /// The out-of-range file id.
         file_id: u32,
     },
+    /// The target partition does not exist (sharded runs only; see
+    /// [`crate::sharded::ShardedSimulation::add_process`]).
+    UnknownGroup(usize),
 }
 
 impl std::fmt::Display for AddProcessError {
@@ -58,6 +61,9 @@ impl std::fmt::Display for AddProcessError {
             AddProcessError::DuplicatePid(pid) => write!(f, "duplicate pid {pid}"),
             AddProcessError::FileIdTooWide { pid, file_id } => {
                 write!(f, "pid {pid}: file id {file_id} exceeds the 16-bit namespacing width")
+            }
+            AddProcessError::UnknownGroup(group) => {
+                write!(f, "group {group} does not exist in this sharded simulation")
             }
         }
     }
@@ -75,6 +81,45 @@ enum Ev {
     FlushDone { disk: usize },
     /// Delayed-write aging timer.
     FlushTimer,
+}
+
+/// Raw (pre-namespacing) file ids with this bit set belong to the
+/// cluster-wide **shared** namespace: in a sharded run the request is
+/// routed to the owning partition instead of the local cache/disks. The
+/// bit sits below the pid tag, so it survives the `pid << 16` remap.
+pub const SHARED_FILE_BIT: u32 = 0x8000;
+
+/// A cross-partition message emitted by one group's engine, serviced by
+/// the sharded coordinator at the next epoch barrier.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum OutMsg {
+    /// A process finished; the global admission scheduler may start a
+    /// parked one.
+    Done,
+    /// A request against a shared file, to be serviced by the owning
+    /// group's disks.
+    RemoteIo {
+        /// Requester's process slot (for the completion callback).
+        slot: usize,
+        /// Shared-namespace file id (pid tag stripped).
+        file_id: u32,
+        offset: u64,
+        length: u64,
+        kind: AccessKind,
+        /// Synchronous requests parked the process; it needs a
+        /// [`Simulation::complete_remote`] reply.
+        sync: bool,
+    },
+}
+
+/// An [`OutMsg`] stamped for the deterministic cross-group merge: the
+/// coordinator sorts by `(time, seq, group)`, where `seq` is this
+/// engine's per-run monotonic message counter.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Stamped {
+    pub(crate) time: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) msg: OutMsg,
 }
 
 /// Per-file placement on the disk farm.
@@ -151,6 +196,15 @@ pub struct Simulation {
     was_idle: bool,
     proc_tracks: Vec<obs::Track>,
     disk_tracks: Vec<obs::Track>,
+    // Sharded-run state. `cluster` routes shared-file requests to the
+    // outbox; `halted` latches the run-loop stop condition so a chunked
+    // advance stops exactly where `run` would (admissions and remote
+    // completions un-latch it).
+    started: bool,
+    halted: bool,
+    cluster: bool,
+    outbox: Vec<Stamped>,
+    msg_seq: u64,
 }
 
 impl Simulation {
@@ -192,6 +246,11 @@ impl Simulation {
             was_idle: false,
             proc_tracks: Vec::new(),
             disk_tracks: Vec::new(),
+            started: false,
+            halted: false,
+            cluster: false,
+            outbox: Vec::new(),
+            msg_seq: 0,
             config,
         }
     }
@@ -200,6 +259,20 @@ impl Simulation {
     /// given `pid`, which must be unique and < 65536 (as must the trace's
     /// file ids). Copies the trace's events once; for the zero-copy path
     /// shared across sweep points use [`Simulation::add_process_shared`].
+    ///
+    /// # Errors
+    ///
+    /// * [`AddProcessError::PidTooWide`] — `pid` does not fit the 16-bit
+    ///   namespace (`pid >= 65536`).
+    /// * [`AddProcessError::DuplicatePid`] — a process with this pid was
+    ///   already added; admitting it would collide after the
+    ///   `file_id |= pid << 16` namespacing and silently share cache
+    ///   blocks.
+    /// * [`AddProcessError::FileIdTooWide`] — some event's `file_id`
+    ///   overlaps the pid tag bits (`file_id >= 65536`).
+    ///
+    /// On error the simulation is unchanged; no partial process is
+    /// registered.
     pub fn add_process(
         &mut self,
         pid: u32,
@@ -215,6 +288,12 @@ impl Simulation {
     /// (`file_id |= pid << 16`) is applied per event during replay, so
     /// one `Arc<[IoEvent]>` can back any number of processes and
     /// concurrent simulations.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Simulation::add_process`]: `PidTooWide`,
+    /// `DuplicatePid`, or `FileIdTooWide`, with the simulation left
+    /// unchanged.
     pub fn add_process_shared(
         &mut self,
         pid: u32,
@@ -410,6 +489,12 @@ impl Simulation {
         p.finished_at = now;
         self.done += 1;
         self.wall_end = self.wall_end.max(now);
+        if self.cluster {
+            // Tell the global admission scheduler a seat opened up.
+            let seq = self.msg_seq;
+            self.msg_seq += 1;
+            self.outbox.push(Stamped { time: now, seq, msg: OutMsg::Done });
+        }
     }
 
     /// Handle the request the process has just reached. Returns the
@@ -524,6 +609,25 @@ impl Simulation {
 
     /// Run to completion and report.
     pub fn run(mut self) -> SimReport {
+        self.start();
+        // The hot loop stays on the plain `pop` path; chunked sharded
+        // advancement uses [`Simulation::advance_until`] instead.
+        while let Some((now, ev)) = self.queue.pop() {
+            if self.handle_event(now, ev) {
+                // Processes finished; any remaining flush traffic is
+                // accounted in `finalize` without extending the run.
+                break;
+            }
+        }
+        self.finalize()
+    }
+
+    /// Register observability tracks, seed the ready queue, and dispatch
+    /// the first slices at time zero. Called once, by [`Simulation::run`]
+    /// or by the sharded coordinator before its first epoch.
+    pub(crate) fn start(&mut self) {
+        debug_assert!(!self.started, "start() called twice");
+        self.started = true;
         if obs::enabled() {
             // One Perfetto row per simulated process and per disk. A
             // monotonic id keeps the rows of concurrent simulations (e.g.
@@ -549,21 +653,29 @@ impl Simulation {
             }
         }
         self.dispatch(SimTime::ZERO);
+    }
 
-        while let Some((now, ev)) = self.queue.pop() {
-            match ev {
-                Ev::SliceDone { slot } => {
-                    self.free_cpus += 1;
-                    let (compute, completing) = self.slice_info[slot]
-                        .take()
-                        .expect("slice info set at dispatch");
-                    let p = &mut self.procs[slot];
-                    p.compute_remaining -= compute;
-                    if !completing {
-                        p.state = ProcState::Ready;
-                        self.ready.push_back(slot);
+    /// Process one popped event. Returns `true` when the run-loop stop
+    /// condition holds: every process done, every CPU free, nothing
+    /// runnable (remaining flush traffic is accounted at finalize).
+    #[inline]
+    fn handle_event(&mut self, now: SimTime, ev: Ev) -> bool {
+        match ev {
+            Ev::SliceDone { slot } => {
+                self.free_cpus += 1;
+                let (compute, completing) = self.slice_info[slot]
+                    .take()
+                    .expect("slice info set at dispatch");
+                let p = &mut self.procs[slot];
+                p.compute_remaining -= compute;
+                if !completing {
+                    p.state = ProcState::Ready;
+                    self.ready.push_back(slot);
+                } else {
+                    let ev = self.procs[slot].advance();
+                    if self.cluster && ev.file_id & SHARED_FILE_BIT != 0 {
+                        self.remote_issue(now, slot, &ev);
                     } else {
-                        let ev = self.procs[slot].advance();
                         let block = self.service_request(now, &ev);
                         let p = &mut self.procs[slot];
                         if ev.sync == Synchrony::Sync && !block.is_zero() {
@@ -595,51 +707,197 @@ impl Simulation {
                             }
                         }
                     }
-                    self.dispatch(now);
                 }
-                Ev::IoDone { slot } => {
-                    let p = &mut self.procs[slot];
-                    debug_assert_eq!(p.state, ProcState::Blocked);
-                    p.blocked_time += now.saturating_since(p.blocked_since);
-                    if p.exhausted() {
-                        self.finish_process(slot, now);
-                    } else {
-                        p.state = ProcState::Ready;
-                        self.ready.push_back(slot);
-                    }
-                    self.dispatch(now);
+                self.dispatch(now);
+            }
+            Ev::IoDone { slot } => {
+                let p = &mut self.procs[slot];
+                debug_assert_eq!(p.state, ProcState::Blocked);
+                p.blocked_time += now.saturating_since(p.blocked_since);
+                if p.exhausted() {
+                    self.finish_process(slot, now);
+                } else {
+                    p.state = ProcState::Ready;
+                    self.ready.push_back(slot);
                 }
-                Ev::FlushDone { disk } => {
-                    self.flush_busy[disk] = false;
-                    if !self.all_done() {
-                        self.kick_flushers(now);
-                    } else {
-                        self.start_flush(disk, now);
-                    }
-                }
-                Ev::FlushTimer => {
-                    self.flush_timer_armed = false;
+                self.dispatch(now);
+            }
+            Ev::FlushDone { disk } => {
+                self.flush_busy[disk] = false;
+                if !self.all_done() {
                     self.kick_flushers(now);
+                } else {
+                    self.start_flush(disk, now);
                 }
             }
-            // §6.2 stall signature: every CPU idle with nothing runnable
-            // while work remains (processes blocked on the disks).
-            let idle = self.free_cpus == self.config.n_cpus
-                && self.ready.is_empty()
-                && !self.all_done();
-            if idle && !self.was_idle {
-                self.sched_obs.idle_transitions += 1;
-            }
-            self.was_idle = idle;
-            if self.all_done()
-                && self.free_cpus == self.config.n_cpus
-                && self.ready.is_empty()
-            {
-                // Processes finished; any remaining flush traffic is
-                // accounted below without extending the measured run.
-                break;
+            Ev::FlushTimer => {
+                self.flush_timer_armed = false;
+                self.kick_flushers(now);
             }
         }
+        // §6.2 stall signature: every CPU idle with nothing runnable
+        // while work remains (processes blocked on the disks).
+        let idle = self.free_cpus == self.config.n_cpus
+            && self.ready.is_empty()
+            && !self.all_done();
+        if idle && !self.was_idle {
+            self.sched_obs.idle_transitions += 1;
+        }
+        self.was_idle = idle;
+        self.all_done() && self.free_cpus == self.config.n_cpus && self.ready.is_empty()
+    }
+
+    /// A shared-file request in a sharded run: stamp it into the outbox
+    /// for the owning group instead of touching the local cache/disks. A
+    /// synchronous requester parks until the coordinator's barrier-time
+    /// [`Simulation::complete_remote`] reply; an asynchronous one carries
+    /// on immediately (the owner's disks still see the traffic).
+    fn remote_issue(&mut self, now: SimTime, slot: usize, ev: &IoEvent) {
+        self.logical_series.add(now, ev.length as f64);
+        let kind =
+            if ev.dir == Direction::Read { AccessKind::Read } else { AccessKind::Write };
+        let sync = ev.sync == Synchrony::Sync;
+        let seq = self.msg_seq;
+        self.msg_seq += 1;
+        self.outbox.push(Stamped {
+            time: now,
+            seq,
+            msg: OutMsg::RemoteIo {
+                slot,
+                // Strip the pid tag: shared files live in one
+                // cluster-wide namespace, so every reader of file
+                // `0x8000 | k` hits the same disk extent.
+                file_id: ev.file_id & 0xFFFF,
+                offset: ev.offset,
+                length: ev.length,
+                kind,
+                sync,
+            },
+        });
+        if sync {
+            let p = &mut self.procs[slot];
+            p.state = ProcState::Blocked;
+            p.blocked_since = now;
+            self.sched_obs.sync_blocks += 1;
+        } else if self.procs[slot].exhausted() {
+            self.finish_process(slot, now);
+        } else {
+            let p = &mut self.procs[slot];
+            p.state = ProcState::Ready;
+            self.ready.push_back(slot);
+        }
+    }
+
+    /// Route shared-file requests through the coordinator outbox. Must be
+    /// set before [`Simulation::start`].
+    pub(crate) fn enable_cluster(&mut self) {
+        self.cluster = true;
+    }
+
+    /// Pop-and-handle every event with `time <= limit`, stopping early if
+    /// the run-loop stop condition latches (`halted`). Behaves exactly
+    /// like the corresponding stretch of [`Simulation::run`]'s loop: once
+    /// halted no further events pop until an admission or remote
+    /// completion un-latches it.
+    pub(crate) fn advance_until(&mut self, limit: SimTime) {
+        while !self.halted {
+            let Some((now, ev)) = self.queue.pop_before(limit) else { break };
+            if self.handle_event(now, ev) {
+                self.halted = true;
+            }
+        }
+    }
+
+    /// Earliest pending event time, or `None` when this group has nothing
+    /// left to do (empty queue, or halted with only residual flush
+    /// events the quiesce path will account).
+    pub(crate) fn peek_next_time(&self) -> Option<SimTime> {
+        if self.halted {
+            return None;
+        }
+        self.queue.peek_time()
+    }
+
+    /// Move accumulated cross-group messages into `batch`, tagged with
+    /// this group's index for the deterministic `(time, seq, group)`
+    /// merge.
+    pub(crate) fn drain_outbox(&mut self, group: usize, batch: &mut Vec<(SimTime, u64, usize, OutMsg)>) {
+        for s in self.outbox.drain(..) {
+            batch.push((s.time, s.seq, group, s.msg));
+        }
+    }
+
+    /// Service a remote (shared-file) request against this group's disks,
+    /// bypassing the cache — shared traffic models uncached cross-machine
+    /// I/O. Returns the device latency.
+    pub(crate) fn service_remote(
+        &mut self,
+        now: SimTime,
+        kind: AccessKind,
+        file_id: u32,
+        offset: u64,
+        length: u64,
+    ) -> SimDuration {
+        self.device_op(now, kind, file_id, offset, length)
+    }
+
+    /// Deliver the completion for a parked synchronous remote request:
+    /// the process's `IoDone` fires at `at` (barrier + owner's device
+    /// latency).
+    pub(crate) fn complete_remote(&mut self, slot: usize, at: SimTime) {
+        debug_assert_eq!(self.procs[slot].state, ProcState::Blocked);
+        self.halted = false;
+        self.queue.schedule(at, Ev::IoDone { slot });
+    }
+
+    /// Admit a process mid-run at time `now` (the sharded admission
+    /// scheduler's entry point). Validation matches
+    /// [`Simulation::add_process_shared`]; on success the process is
+    /// dispatched immediately if a CPU is free.
+    ///
+    /// # Errors
+    ///
+    /// `PidTooWide`, `DuplicatePid`, or `FileIdTooWide` exactly as
+    /// [`Simulation::add_process`]; the running simulation is unchanged
+    /// on error.
+    pub(crate) fn admit_process_at(
+        &mut self,
+        now: SimTime,
+        pid: u32,
+        name: impl Into<String>,
+        events: Arc<[IoEvent]>,
+    ) -> Result<(), AddProcessError> {
+        debug_assert!(self.started, "admit_process_at before start()");
+        if pid >= 1 << 16 {
+            return Err(AddProcessError::PidTooWide(pid));
+        }
+        if self.procs.iter().any(|p| p.pid == pid) {
+            return Err(AddProcessError::DuplicatePid(pid));
+        }
+        if let Some(e) = events.iter().find(|e| e.file_id >= 1 << 16) {
+            return Err(AddProcessError::FileIdTooWide { pid, file_id: e.file_id });
+        }
+        self.procs.push(ProcessState::new(pid, name, events));
+        self.slice_info.push(None);
+        let slot = self.procs.len() - 1;
+        if self.procs[slot].state == ProcState::Done {
+            // Born-done (empty trace): route through finish_process so
+            // the admission scheduler gets its Done message back.
+            self.procs[slot].state = ProcState::Ready;
+            self.finish_process(slot, now);
+        } else {
+            self.ready.push_back(slot);
+            self.halted = false;
+            self.dispatch(now);
+        }
+        Ok(())
+    }
+
+    /// Build the report: quiesce remaining dirty data and fold up the
+    /// metrics. Consumes the simulation; [`Simulation::run`] calls this
+    /// after its event loop, the sharded coordinator after the last
+    /// barrier.
+    pub(crate) fn finalize(mut self) -> SimReport {
         // Quiesce: drain the remaining dirty data to the disks for
         // accounting (does not extend the measured wall clock). This
         // covers both ranges already pulled into flusher queues and

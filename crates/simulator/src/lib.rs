@@ -47,8 +47,10 @@ pub mod config;
 pub mod engine;
 pub mod metrics;
 pub mod process;
+pub mod sharded;
 
 pub use config::{CacheTier, SchedParams, SimConfig};
 pub use process::{ProcState, ProcessState};
-pub use engine::{AddProcessError, Simulation};
+pub use engine::{AddProcessError, Simulation, SHARED_FILE_BIT};
 pub use metrics::{ProcessMetrics, SimReport};
+pub use sharded::{ClusterReport, GroupSummary, ShardedConfig, ShardedSimulation};

@@ -41,6 +41,16 @@ impl DeviceStats {
         self.bytes_read + self.bytes_written
     }
 
+    /// Accumulate another device's counters into this one (disk-farm and
+    /// cross-shard totals).
+    pub fn merge(&mut self, other: &DeviceStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.busy += other.busy;
+    }
+
     pub(crate) fn note(&mut self, kind: AccessKind, bytes: u64, service: SimDuration) {
         match kind {
             AccessKind::Read => {
