@@ -1,0 +1,412 @@
+//! Per-process directly-follows graphs of I/O operations.
+//!
+//! A directly-follows graph (DFG) — the workhorse of process mining —
+//! abstracts an event stream into a small graph: each node is an
+//! *activity*, each edge `a → b` counts how often an operation of kind
+//! `b` immediately followed one of kind `a` in the same process. Over
+//! an I/O trace it surfaces access-pattern *structure* that totals and
+//! rate series cannot express: a compute/checkpoint cycle shows up as a
+//! tight `write/seq → write/seq` self-loop punctuated by `read/seek`
+//! returns, data swapping as an alternating read/write figure-eight.
+//!
+//! The activity alphabet here is deliberately small and observable:
+//! direction (read or write) × locality (`seq` when the request starts
+//! exactly where the previous request to the same file ended, `seek`
+//! otherwise; the first touch of a file is `seq` — a fresh stream
+//! starts sequential).
+//!
+//! [`DfgBuilder`] is a streaming fold: feed it events one at a time (in
+//! trace order — interleaved processes are fine, state is per pid) and
+//! it never holds more than per-(process, file) cursor positions. This
+//! is what lets the experiments layer build DFGs by replaying binary
+//! frame files block-by-block in parallel without materializing any
+//! trace in memory; see `experiments::dfg`.
+
+use iotrace::stream_v2::FrameFile;
+use iotrace::{Direction, IoEvent, TraceError};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One node kind of the DFG: what a single I/O operation "is".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Activity {
+    /// A read continuing where the file's previous request ended.
+    ReadSeq,
+    /// A read after a seek within the file.
+    ReadSeek,
+    /// A write continuing where the file's previous request ended.
+    WriteSeq,
+    /// A write after a seek within the file.
+    WriteSeek,
+}
+
+impl Activity {
+    /// Every activity, in the canonical (serialization) order.
+    pub const ALL: [Activity; 4] =
+        [Activity::ReadSeq, Activity::ReadSeek, Activity::WriteSeq, Activity::WriteSeek];
+
+    /// Human-facing label (`read/seq`, …).
+    pub fn label(self) -> &'static str {
+        match self {
+            Activity::ReadSeq => "read/seq",
+            Activity::ReadSeek => "read/seek",
+            Activity::WriteSeq => "write/seq",
+            Activity::WriteSeek => "write/seek",
+        }
+    }
+
+    /// DOT-safe identifier fragment.
+    fn ident(self) -> &'static str {
+        match self {
+            Activity::ReadSeq => "read_seq",
+            Activity::ReadSeek => "read_seek",
+            Activity::WriteSeq => "write_seq",
+            Activity::WriteSeek => "write_seek",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Activity::ReadSeq => 0,
+            Activity::ReadSeek => 1,
+            Activity::WriteSeq => 2,
+            Activity::WriteSeek => 3,
+        }
+    }
+}
+
+/// One activity's occurrence count within a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DfgNode {
+    /// The activity.
+    pub activity: Activity,
+    /// Operations of this kind.
+    pub count: u64,
+}
+
+/// One directly-follows edge within a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DfgEdge {
+    /// Predecessor activity.
+    pub from: Activity,
+    /// Successor activity.
+    pub to: Activity,
+    /// Times `to` immediately followed `from`.
+    pub count: u64,
+}
+
+/// The directly-follows graph of one process in one trace.
+///
+/// Nodes and edges are emitted in canonical order ([`Activity::ALL`]
+/// order, zero-count entries omitted), so two identical traces always
+/// produce byte-identical serialized graphs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessDfg {
+    /// Which trace the process came from (e.g. the frame-file stem).
+    pub source: String,
+    /// The process id inside that trace.
+    pub process_id: u32,
+    /// Total operations folded in.
+    pub events: u64,
+    /// Activity occurrence counts.
+    pub nodes: Vec<DfgNode>,
+    /// Directly-follows transition counts.
+    pub edges: Vec<DfgEdge>,
+    /// The first operation's activity.
+    pub first: Option<Activity>,
+    /// The last operation's activity.
+    pub last: Option<Activity>,
+}
+
+impl ProcessDfg {
+    /// Occurrences of `a` (0 when absent).
+    pub fn node_count(&self, a: Activity) -> u64 {
+        self.nodes.iter().find(|n| n.activity == a).map_or(0, |n| n.count)
+    }
+
+    /// Count of the `from → to` transition (0 when absent).
+    pub fn edge_count(&self, from: Activity, to: Activity) -> u64 {
+        self.edges.iter().find(|e| e.from == from && e.to == to).map_or(0, |e| e.count)
+    }
+}
+
+/// DFGs for every process of an analysis run, ordered by
+/// `(source, process_id)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DfgReport {
+    /// Per-process graphs.
+    pub processes: Vec<ProcessDfg>,
+    /// Total operations across all processes.
+    pub total_events: u64,
+}
+
+impl DfgReport {
+    /// Assemble a report: sorts deterministically and totals events.
+    pub fn from_processes(mut processes: Vec<ProcessDfg>) -> DfgReport {
+        processes.sort_by(|a, b| {
+            a.source.cmp(&b.source).then(a.process_id.cmp(&b.process_id))
+        });
+        let total_events = processes.iter().map(|p| p.events).sum();
+        DfgReport { processes, total_events }
+    }
+
+    /// Render the whole report as a Graphviz DOT digraph, one cluster
+    /// per process. Deterministic: clusters, nodes, and edges follow
+    /// the report's canonical order.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        out.push_str("digraph dfg {\n");
+        out.push_str("  rankdir=LR;\n");
+        out.push_str("  node [shape=box, fontname=\"monospace\"];\n");
+        for (i, p) in self.processes.iter().enumerate() {
+            let _ = writeln!(out, "  subgraph cluster_{i} {{");
+            let _ = writeln!(
+                out,
+                "    label=\"{} pid {} ({} ops)\";",
+                escape(&p.source),
+                p.process_id,
+                p.events
+            );
+            for n in &p.nodes {
+                let _ = writeln!(
+                    out,
+                    "    p{i}_{} [label=\"{}\\n{}\"];",
+                    n.activity.ident(),
+                    n.activity.label(),
+                    n.count
+                );
+            }
+            for e in &p.edges {
+                let _ = writeln!(
+                    out,
+                    "    p{i}_{} -> p{i}_{} [label=\"{}\"];",
+                    e.from.ident(),
+                    e.to.ident(),
+                    e.count
+                );
+            }
+            out.push_str("  }\n");
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[derive(Default)]
+struct ProcFold {
+    events: u64,
+    counts: [u64; 4],
+    edges: [[u64; 4]; 4],
+    first: Option<Activity>,
+    last: Option<Activity>,
+    /// Where the last request to each file ended — the seq/seek oracle.
+    file_end: HashMap<u32, u64>,
+}
+
+/// Streaming DFG fold over one trace's events.
+///
+/// State is per process id, so interleaved multi-process traces fold
+/// correctly; per-process order must match replay order (which trace
+/// order guarantees).
+#[derive(Default)]
+pub struct DfgBuilder {
+    source: String,
+    procs: HashMap<u32, ProcFold>,
+}
+
+impl DfgBuilder {
+    /// A builder labeling its graphs with `source`.
+    pub fn new(source: impl Into<String>) -> DfgBuilder {
+        DfgBuilder { source: source.into(), procs: HashMap::new() }
+    }
+
+    /// Classify one operation against the folded state. Public so
+    /// callers can label events consistently with the graphs.
+    pub fn fold(&mut self, e: &IoEvent) -> Activity {
+        let p = self.procs.entry(e.process_id).or_default();
+        let seq = p.file_end.get(&e.file_id).is_none_or(|&end| e.offset == end);
+        p.file_end.insert(e.file_id, e.end_offset());
+        let a = match (e.dir, seq) {
+            (Direction::Read, true) => Activity::ReadSeq,
+            (Direction::Read, false) => Activity::ReadSeek,
+            (Direction::Write, true) => Activity::WriteSeq,
+            (Direction::Write, false) => Activity::WriteSeek,
+        };
+        p.events += 1;
+        p.counts[a.index()] += 1;
+        if let Some(prev) = p.last {
+            p.edges[prev.index()][a.index()] += 1;
+        } else {
+            p.first = Some(a);
+        }
+        p.last = Some(a);
+        a
+    }
+
+    /// Feed one event.
+    pub fn push(&mut self, e: &IoEvent) {
+        self.fold(e);
+    }
+
+    /// The per-process graphs, sorted by process id.
+    pub fn finish(self) -> Vec<ProcessDfg> {
+        let mut pids: Vec<u32> = self.procs.keys().copied().collect();
+        pids.sort_unstable();
+        pids.into_iter()
+            .map(|pid| {
+                let p = &self.procs[&pid];
+                let nodes = Activity::ALL
+                    .into_iter()
+                    .filter(|a| p.counts[a.index()] > 0)
+                    .map(|a| DfgNode { activity: a, count: p.counts[a.index()] })
+                    .collect();
+                let mut edges = Vec::new();
+                for from in Activity::ALL {
+                    for to in Activity::ALL {
+                        let count = p.edges[from.index()][to.index()];
+                        if count > 0 {
+                            edges.push(DfgEdge { from, to, count });
+                        }
+                    }
+                }
+                ProcessDfg {
+                    source: self.source.clone(),
+                    process_id: pid,
+                    events: p.events,
+                    nodes,
+                    edges,
+                    first: p.first,
+                    last: p.last,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Build the DFGs of one stored frame file by streaming it one block at
+/// a time — resident memory stays O(one block), independent of trace
+/// size. Graphs are labeled with the file stem.
+pub fn dfg_of_frame_file(path: &Path) -> Result<Vec<ProcessDfg>, TraceError> {
+    let source = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string());
+    let file = FrameFile::open(path)?;
+    let mut b = DfgBuilder::new(source);
+    let mut cursor = file.cursor();
+    while let Some(e) = cursor.next()? {
+        b.push(&e);
+    }
+    Ok(b.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iotrace::write_frame_file;
+    use sim_core::{SimDuration, SimTime};
+
+    fn ev(dir: Direction, pid: u32, file: u32, offset: u64, i: u64) -> IoEvent {
+        IoEvent::logical(
+            dir,
+            pid,
+            file,
+            offset,
+            4096,
+            SimTime::from_ticks(i * 100),
+            SimDuration::ZERO,
+        )
+    }
+
+    #[test]
+    fn sequential_reads_fold_into_a_self_loop() {
+        let mut b = DfgBuilder::new("t");
+        for i in 0..5u64 {
+            b.push(&ev(Direction::Read, 1, 1, i * 4096, i));
+        }
+        let g = &b.finish()[0];
+        assert_eq!(g.events, 5);
+        assert_eq!(g.node_count(Activity::ReadSeq), 5);
+        assert_eq!(g.edge_count(Activity::ReadSeq, Activity::ReadSeq), 4);
+        assert_eq!(g.first, Some(Activity::ReadSeq));
+        assert_eq!(g.last, Some(Activity::ReadSeq));
+    }
+
+    #[test]
+    fn seeks_and_direction_changes_make_edges() {
+        let mut b = DfgBuilder::new("t");
+        b.push(&ev(Direction::Read, 1, 1, 0, 0)); // read/seq (fresh file)
+        b.push(&ev(Direction::Write, 1, 2, 0, 1)); // write/seq (fresh file)
+        b.push(&ev(Direction::Read, 1, 1, 4096, 2)); // read/seq (continues file 1)
+        b.push(&ev(Direction::Read, 1, 1, 0, 3)); // read/seek (rewinds)
+        let g = &b.finish()[0];
+        assert_eq!(g.node_count(Activity::ReadSeq), 2);
+        assert_eq!(g.node_count(Activity::WriteSeq), 1);
+        assert_eq!(g.node_count(Activity::ReadSeek), 1);
+        assert_eq!(g.edge_count(Activity::ReadSeq, Activity::WriteSeq), 1);
+        assert_eq!(g.edge_count(Activity::WriteSeq, Activity::ReadSeq), 1);
+        assert_eq!(g.edge_count(Activity::ReadSeq, Activity::ReadSeek), 1);
+        assert_eq!(g.last, Some(Activity::ReadSeek));
+    }
+
+    #[test]
+    fn interleaved_processes_fold_independently() {
+        let mut b = DfgBuilder::new("t");
+        b.push(&ev(Direction::Read, 1, 1, 0, 0));
+        b.push(&ev(Direction::Write, 2, 1, 0, 1));
+        b.push(&ev(Direction::Read, 1, 1, 4096, 2));
+        b.push(&ev(Direction::Write, 2, 1, 4096, 3));
+        let graphs = b.finish();
+        assert_eq!(graphs.len(), 2);
+        assert_eq!(graphs[0].process_id, 1);
+        assert_eq!(graphs[0].edge_count(Activity::ReadSeq, Activity::ReadSeq), 1);
+        assert_eq!(graphs[1].process_id, 2);
+        assert_eq!(graphs[1].edge_count(Activity::WriteSeq, Activity::WriteSeq), 1);
+    }
+
+    #[test]
+    fn frame_file_scan_matches_direct_fold() {
+        let events: Vec<IoEvent> = (0..3000u64)
+            .map(|i| {
+                let dir = if i % 7 == 0 { Direction::Write } else { Direction::Read };
+                ev(dir, 1 + (i % 2) as u32, (i % 5) as u32, (i / 5) * 4096, i)
+            })
+            .collect();
+        let dir = std::env::temp_dir().join(format!("miller-dfg-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("scan.mio2");
+        write_frame_file(&path, events.iter()).expect("write frame file");
+
+        let mut direct = DfgBuilder::new("scan");
+        for e in &events {
+            direct.push(e);
+        }
+        let streamed = dfg_of_frame_file(&path).expect("scan frame file");
+        assert_eq!(streamed, direct.finish(), "streamed fold must match in-memory fold");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_is_deterministic_and_renders_dot() {
+        let mut b = DfgBuilder::new("b-trace");
+        b.push(&ev(Direction::Read, 2, 1, 0, 0));
+        let mut a = DfgBuilder::new("a-trace");
+        a.push(&ev(Direction::Write, 1, 1, 0, 0));
+        let mut procs = b.finish();
+        procs.extend(a.finish());
+        let report = DfgReport::from_processes(procs);
+        assert_eq!(report.total_events, 2);
+        assert_eq!(report.processes[0].source, "a-trace", "sorted by source then pid");
+        let dot = report.to_dot();
+        assert!(dot.starts_with("digraph dfg {"));
+        assert!(dot.contains("p0_write_seq [label=\"write/seq\\n1\"];"));
+        assert!(dot.contains("cluster_1"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -10,12 +10,15 @@
 //!   I/O types (§5.1);
 //! * [`burst`] — burstiness metrics (peak/mean, CV, idle-bin fraction);
 //! * [`amdahl`] — Amdahl's 1-Mbit-per-MIPS I/O balance metric (§1, §5.1);
-//! * [`seeks`] — device-level seek behavior of physical traces.
+//! * [`seeks`] — device-level seek behavior of physical traces;
+//! * [`dfg`] — per-process directly-follows graphs streamed from binary
+//!   frame files (post-1991 structure the paper's tables can't show).
 
 pub mod amdahl;
 pub mod burst;
 pub mod classify;
 pub mod cycles;
+pub mod dfg;
 pub mod seeks;
 pub mod seq;
 pub mod summary;
@@ -25,6 +28,7 @@ pub use amdahl::{AmdahlReport, YMP_DEFAULT_MIPS};
 pub use burst::Burstiness;
 pub use classify::{classify_trace, ClassifiedIo, IoClass};
 pub use cycles::{detect as detect_cycles, CycleReport};
+pub use dfg::{dfg_of_frame_file, Activity, DfgBuilder, DfgEdge, DfgNode, DfgReport, ProcessDfg};
 pub use seeks::{analyze_seeks, SeekReport};
 pub use seq::{analyze as analyze_sequentiality, SequentialityReport};
 pub use summary::{AppSummary, DirectionSummary};

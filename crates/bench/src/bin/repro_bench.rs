@@ -6,11 +6,17 @@
 //! stores; a warm sweep slower than cold fails the run), the
 //! `shard_scale_10k` campaign — 1000 groups x 10 processes x 1 disk
 //! through the sharded engine at 1 and 8 shards, gated at >= 3x speedup
-//! on machines with >= 8 cores — and the 64 MB LRU churn microbench,
-//! then writes `BENCH_sim.json` with wall seconds and an
-//! events-per-second rate for each sweep. "Events" are simulated I/O
-//! requests for the simulator sweeps, generated trace records for the
-//! generation bench, and index operations for the LRU microbench.
+//! on machines with >= 8 cores — the 64 MB LRU churn microbench, the
+//! `stream_v2` frame-codec churn pair (encode + `trace_codec_churn`
+//! decode, the latter gated at >= 2M events/s), and the streamed
+//! 100x100 campaign replayed from spilled frame files under a 64 MB
+//! trace budget (its peak residency lands in the report as
+//! `peak_trace_bytes`, gated at <= the budget), then writes
+//! `BENCH_sim.json` with wall seconds and an events-per-second rate for
+//! each sweep. "Events" are simulated I/O requests for the simulator
+//! sweeps, generated trace records for the generation bench, codec
+//! events for the churn pair, and index operations for the LRU
+//! microbench.
 //!
 //! Thread count follows the harness: `MILLER_THREADS`, then
 //! `RAYON_NUM_THREADS`, then all available cores. `MILLER_BENCH_SCALE`
@@ -52,8 +58,9 @@ use buffer_cache::lru::LruIndex;
 use buffer_cache::{BlockCache, CacheConfig, ReadOutcome, WritePolicy, WriteOutcome};
 use miller_core::figures::{two_venus_report, two_venus_report_in};
 use miller_core::{
-    generate, par_sweep, run_campaign, scaled_spec, thread_count, AppKind, BlockDevice,
-    CampaignSpec, DiskModel, DiskParams, Scale, SimDuration, SimReport, SimTime, TraceStore,
+    encode_frames, generate, par_sweep, run_campaign, run_campaign_in, scaled_spec, thread_count,
+    AppKind, BlockDevice, CampaignSpec, DiskModel, DiskParams, FrameFile, IoEvent, Scale,
+    SimDuration, SimReport, SimTime, StoreConfig, TraceStore,
 };
 use serde::{Deserialize, Serialize};
 use sim_core::EventQueue;
@@ -88,6 +95,16 @@ fn tolerance_for(name: &str) -> f64 {
 /// state must be allocation-free (the whisker of slack absorbs the
 /// `RateSeries` bins doubling a few more times in the longer run).
 const ALLOC_PER_EVENT_LIMIT: f64 = 0.01;
+
+/// In-memory trace budget for the streamed 100x100 campaign; its peak
+/// resident bytes are gated absolutely at this figure.
+const TRACE_BUDGET: usize = 64 * MB as usize;
+
+/// Absolute floor on `trace_codec_churn`'s decode rate: streamed replay
+/// reads every event through the frame decoder, so it must comfortably
+/// outrun the simulator's own event rate for spilling to stay off the
+/// critical path.
+const DECODE_FLOOR: f64 = 2_000_000.0;
 
 /// Counts heap allocations so `alloc_per_event` can be measured in-process.
 struct CountingAlloc;
@@ -160,6 +177,11 @@ struct BenchReport {
     alloc_per_event_obs: Option<f64>,
     /// Observability-layer summary. Absent in pre-observability reports.
     obs: Option<ObsBenchSummary>,
+    /// Peak resident bytes in the streamed campaign's trace store — the
+    /// working set of 10k processes replaying from spilled frame files,
+    /// gated absolutely at the 64 MB budget. Absent in pre-streaming
+    /// reports.
+    peak_trace_bytes: Option<u64>,
     /// Per-sweep timings.
     sweeps: Vec<SweepTiming>,
 }
@@ -408,7 +430,84 @@ fn run_benches(scale: Scale, seed: u64) -> Vec<SweepTiming> {
         OPS
     }));
 
+    codec_benches(scale, seed, &mut sweeps);
+
     sweeps
+}
+
+/// Frame-codec churn: the `stream_v2` hot loops in isolation. One venus
+/// trace is encoded into an in-memory frame (4096-event blocks, the
+/// codec default) and decoded back through a block cursor, enough
+/// repetitions of each to push ~2M events through either direction.
+/// `trace_codec_churn` is the decode side, gated absolutely in `main`
+/// at [`DECODE_FLOOR`]; encode is timed alongside and the wire rates in
+/// MB/s go to stderr.
+fn codec_benches(scale: Scale, seed: u64, sweeps: &mut Vec<SweepTiming>) {
+    const TARGET_EVENTS: u64 = 2_000_000;
+    let trace = generate(&scaled_spec(AppKind::Venus, 1, scale), seed);
+    let events: Vec<IoEvent> = trace.events().cloned().collect();
+    let per_rep = (events.len() as u64).max(1);
+    let reps = TARGET_EVENTS.div_ceil(per_rep);
+    let mut frame = Vec::new();
+    let enc = timed("trace_codec_encode", || {
+        for _ in 0..reps {
+            frame = encode_frames(&events, 4096);
+        }
+        reps * per_rep
+    });
+    let frame_bytes = frame.len() as u64;
+    let file = FrameFile::from_bytes(frame).expect("freshly encoded frame parses");
+    let dec = timed("trace_codec_churn", || {
+        let mut n = 0u64;
+        for _ in 0..reps {
+            let mut cur = file.cursor();
+            while let Some(e) = cur.next().expect("freshly encoded frame decodes") {
+                std::hint::black_box(e.length);
+                n += 1;
+            }
+        }
+        n
+    });
+    let wire_mb_per_sec = |t: &SweepTiming| {
+        if t.wall_secs > 0.0 {
+            (frame_bytes * reps) as f64 / MB as f64 / t.wall_secs
+        } else {
+            0.0
+        }
+    };
+    eprintln!(
+        "trace codec: {:.1} wire bytes/event; encode {:.0} MB/s, decode {:.0} MB/s",
+        frame_bytes as f64 / per_rep as f64,
+        wire_mb_per_sec(&enc),
+        wire_mb_per_sec(&dec),
+    );
+    sweeps.push(enc);
+    sweeps.push(dec);
+}
+
+/// The streaming-store memory gate: the 100x100 datacenter campaign
+/// (10k processes) replayed entirely from spilled `stream_v2` frame
+/// files under the [`TRACE_BUDGET`] in-memory budget — the flag-level
+/// equivalent is `repro-sim --campaign 100x100 --trace-mem-budget 64`.
+/// Returns the sweep timing plus the store's peak resident bytes, which
+/// `main` gates at <= the budget: the trace working set must stay
+/// bounded by the live cursors' decoded blocks no matter how many
+/// processes replay. Campaign traces shrink with the bench divisor,
+/// like `shard_scale_10k`.
+fn measure_streamed_campaign(scale: Scale) -> (SweepTiming, u64) {
+    let dir = std::env::temp_dir().join(format!("miller-bench-traces-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = TraceStore::with_config(StoreConfig {
+        mem_budget: Some(TRACE_BUDGET),
+        spill_dir: Some(dir.clone()),
+    });
+    let mut spec = CampaignSpec::datacenter(100, 100);
+    spec.scale = Scale(scale.0.saturating_mul(32).max(1));
+    let timing =
+        timed("campaign_streamed_100x100", || run_campaign_in(&store, &spec, 8).ios_issued);
+    let peak = store.footprint().peak_bytes as u64;
+    let _ = std::fs::remove_dir_all(&dir);
+    (timing, peak)
 }
 
 /// Marginal heap allocations per simulated I/O, by differencing: two
@@ -530,18 +629,28 @@ fn main() -> ExitCode {
     }
 
     // Parse the baseline up front: the baseline path is usually the
-    // same BENCH_sim.json this run is about to overwrite.
+    // same BENCH_sim.json this run is about to overwrite. A missing
+    // file is an error (a typoed path must not silently pass CI), but a
+    // file that no longer parses as the current report shape — a
+    // baseline recorded before a metric existed, or after one was
+    // reshaped — only skips the comparison: new metrics must not brick
+    // every checkout holding an older BENCH_sim.json.
     let base = match &baseline {
-        Some(path) => match std::fs::read_to_string(path)
-            .map_err(|e| format!("{path}: {e}"))
-            .and_then(|text| {
-                serde_json::from_str::<BenchReport>(&text).map_err(|e| format!("{path}: {e}"))
-            }) {
-            Ok(b) => Some(b),
+        Some(path) => match std::fs::read_to_string(path) {
             Err(e) => {
-                eprintln!("repro_bench: {e}");
+                eprintln!("repro_bench: {path}: {e}");
                 return ExitCode::FAILURE;
             }
+            Ok(text) => match serde_json::from_str::<BenchReport>(&text) {
+                Ok(b) => Some(b),
+                Err(e) => {
+                    eprintln!(
+                        "repro_bench: baseline {path} predates the current report \
+                         shape ({e}); skipping the baseline comparison"
+                    );
+                    None
+                }
+            },
         },
         None => None,
     };
@@ -555,7 +664,9 @@ fn main() -> ExitCode {
     );
     let seed = 42;
 
-    let sweeps = run_benches(scale, seed);
+    let mut sweeps = run_benches(scale, seed);
+    let (streamed_campaign, peak_trace_bytes) = measure_streamed_campaign(scale);
+    sweeps.push(streamed_campaign);
     let alloc_per_event = measure_alloc_per_event(scale, seed, false);
     let alloc_per_event_obs = measure_alloc_per_event(scale, seed, true);
 
@@ -568,6 +679,7 @@ fn main() -> ExitCode {
     let warm_rate = rate_of("fig8_sweep_warm_store");
     let shard1_rate = rate_of("shard_scale_10k_s1");
     let shard8_rate = rate_of("shard_scale_10k_s8");
+    let decode_rate = rate_of("trace_codec_churn");
     let rec = obs::summary();
     let obs_summary = ObsBenchSummary {
         events_recorded: rec.recorded,
@@ -583,6 +695,7 @@ fn main() -> ExitCode {
         alloc_per_event: Some(alloc_per_event),
         alloc_per_event_obs: Some(alloc_per_event_obs),
         obs: Some(obs_summary),
+        peak_trace_bytes: Some(peak_trace_bytes),
         sweeps,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -640,6 +753,38 @@ fn main() -> ExitCode {
             "shard_scale_10k: {speedup:.2}x speedup at 8 shards on {cores} cores{}",
             if cores >= 8 { " (gate: >= 3x)" } else { " (informational, gate needs >= 8 cores)" }
         );
+    }
+
+    // The streaming-store memory gate: replaying the 10k-process
+    // campaign from spilled frame files must keep trace residency under
+    // the budget — that bound is the whole point of spilling.
+    if peak_trace_bytes > TRACE_BUDGET as u64 {
+        eprintln!(
+            "FAIL: peak_trace_bytes {:.1} MB exceeds the {} MB trace budget — \
+             streamed replay is not bounding memory",
+            peak_trace_bytes as f64 / MB as f64,
+            TRACE_BUDGET as u64 / MB
+        );
+        failed = true;
+    } else {
+        eprintln!(
+            "peak_trace_bytes {:.1} MB within the {} MB budget",
+            peak_trace_bytes as f64 / MB as f64,
+            TRACE_BUDGET as u64 / MB
+        );
+    }
+
+    // The frame-decode floor: a streaming cursor must never become the
+    // simulator's bottleneck, so decode throughput is gated absolutely
+    // rather than against a baseline.
+    if decode_rate < DECODE_FLOOR {
+        eprintln!(
+            "FAIL: trace_codec_churn decoded {decode_rate:.0} events/s \
+             (floor {DECODE_FLOOR:.0})"
+        );
+        failed = true;
+    } else {
+        eprintln!("trace_codec_churn {decode_rate:.0} events/s (floor {DECODE_FLOOR:.0})");
     }
 
     if let Some(base) = base {

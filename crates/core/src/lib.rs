@@ -33,13 +33,13 @@ pub use buffer_cache::{BlockCache, CacheConfig, CacheStats, WritePolicy};
 pub use fs_map::{measure as measure_amplification, translate as translate_to_physical, Amplification, FsConfig, FsLayout};
 pub use experiments::{
     ablations, app_events, app_trace, claims, extras, figures, nplus1, par_sweep, render,
-    run_campaign, scaled_spec, serial_sweep, shard_count, tables, thread_count, CampaignSpec,
-    Scale, StoreFootprint, TraceArtifact, TraceStore,
+    run_campaign, run_campaign_in, scaled_spec, serial_sweep, shard_count, tables, thread_count,
+    CampaignSpec, Scale, StoreConfig, StoreFootprint, TraceArtifact, TraceStore,
 };
 pub use iosim::{CacheTier, ClusterReport, SchedParams, SimConfig, SimReport, Simulation};
 pub use iotrace::{
-    measure_compression, read_trace, write_trace, CompressionReport, DataKind, Direction,
-    IoEvent, Scope, Synchrony, Trace, TraceDecoder, TraceEncoder, TraceItem,
+    encode_frames, measure_compression, read_trace, write_trace, CompressionReport, DataKind,
+    Direction, FrameFile, IoEvent, Scope, Synchrony, Trace, TraceDecoder, TraceEncoder, TraceItem,
 };
 pub use procstat::{reconstruct, Collector, LibraryShim, Pipe, PipelineReport, ShimConfig};
 pub use sim_core::{SimDuration, SimRng, SimTime};
@@ -112,21 +112,15 @@ impl Study {
 
     /// Generate the trace.
     pub fn trace(&self) -> Trace {
-        let trace =
+        let artifact =
             experiments::app_trace(self.kind, 1, self.seed, experiments::Scale(self.scale));
         if !self.through_procstat {
-            return trace.trace().clone();
+            return artifact.trace();
         }
         let pipe = Pipe::new();
         let mut shim = LibraryShim::new(ShimConfig::default(), pipe.clone());
         let mut collector = Collector::new(pipe);
-        let comments: Vec<TraceItem> = trace
-            .items()
-            .iter()
-            .filter(|i| matches!(i, TraceItem::Comment(_)))
-            .cloned()
-            .collect();
-        for e in trace.trace().events() {
+        for e in artifact.events().iter() {
             shim.on_io(*e);
         }
         shim.close_all();
@@ -134,10 +128,8 @@ impl Study {
         let (events, _report) =
             reconstruct(collector.packets()).expect("pipeline reconstruction");
         let mut out = Trace::new();
-        for c in comments {
-            if let TraceItem::Comment(text) = c {
-                out.push_comment(text);
-            }
+        for (_, text) in artifact.comments() {
+            out.push_comment(text.clone());
         }
         for e in events {
             out.push(e);

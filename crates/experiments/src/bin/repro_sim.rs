@@ -18,6 +18,11 @@
 //! instead (e.g. `1000x10` = 1000 groups of 10 processes) on
 //! `--shards N` worker threads; `--json PATH` then writes the
 //! [`iosim::ClusterReport`], which is byte-identical at any shard count.
+//!
+//! `--dfg-out PATH` additionally runs the post-hoc directly-follows
+//! analysis over the figure traces — exported as binary frame files and
+//! scanned block-by-block in parallel — writing the report JSON to PATH
+//! and a Graphviz rendering next to it (`.dot`).
 
 use experiments::campaign::{run_campaign, CampaignSpec};
 use experiments::figures::{fig6, fig7, fig8, render_fig8, two_venus_report};
@@ -174,6 +179,27 @@ fn main() {
         std::fs::write(path, serde_json::to_string_pretty(&f8).expect("serialize"))
             .expect("write json");
         eprintln!("wrote {path}");
+    }
+    if let Some(i) = args.iter().position(|a| a == "--dfg-out") {
+        let path = args.get(i + 1).expect("--dfg-out needs a path");
+        let store = experiments::TraceStore::global();
+        let subjects = experiments::dfg::figure_subjects(42);
+        let report = experiments::dfg::dfg_for_subjects(store, &subjects, scale)
+            .unwrap_or_else(|e| {
+                eprintln!("dfg analysis failed: {e}");
+                std::process::exit(1);
+            });
+        let dot = experiments::dfg::write_dfg_outputs(&report, std::path::Path::new(path))
+            .unwrap_or_else(|e| {
+                eprintln!("writing dfg output failed: {e}");
+                std::process::exit(1);
+            });
+        println!(
+            "dfg: {} process graph(s), {} ops folded — wrote {path} and {}",
+            report.processes.len(),
+            report.total_events,
+            dot.display()
+        );
     }
     if let Some(path) = &profile {
         obs::finish_profile(path);

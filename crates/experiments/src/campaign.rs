@@ -13,13 +13,17 @@
 //! Group contents repeat on purpose: process `j` of every group replays
 //! the same memoized trace (one generation, `groups` zero-copy
 //! replays), so a 10 000-process campaign costs tens of trace
-//! generations, not thousands. The report is a
-//! [`iosim::ClusterReport`], byte-identical at any shard count — the
-//! shard knob (`--shards` / `MILLER_SHARDS`, see
-//! [`crate::shard_count`]) only changes how fast the answer arrives.
+//! generations, not thousands. With a budgeted [`TraceStore`]
+//! ([`run_campaign_in`]) the replays stream from spilled frame files
+//! instead, bounding residency to the live cursors' decoded blocks.
+//! The report is a [`iosim::ClusterReport`], byte-identical at any
+//! shard count and in either replay mode — the shard knob (`--shards` /
+//! `MILLER_SHARDS`, see [`crate::shard_count`]) only changes how fast
+//! the answer arrives.
 
-use crate::runner::{app_events, Scale};
-use iosim::{ClusterReport, ShardedConfig, ShardedSimulation, SHARED_FILE_BIT};
+use crate::runner::Scale;
+use crate::trace_store::TraceStore;
+use iosim::{ClusterReport, ProcessFeed, ShardedConfig, ShardedSimulation, SHARED_FILE_BIT};
 use iotrace::{Direction, IoEvent};
 use sim_core::units::MB;
 use sim_core::{SimDuration, SimTime};
@@ -122,15 +126,33 @@ fn shared_reader_events(pid: u32, stream: u32, reads: usize) -> Arc<[IoEvent]> {
 /// [`CampaignSpec::shared_file_every`]-th slot) a shared-file reader —
 /// so the result depends only on the spec, never on `shards`.
 pub fn run_campaign(spec: &CampaignSpec, shards: usize) -> ClusterReport {
+    run_campaign_in(TraceStore::global(), spec, shards)
+}
+
+/// What sits in one roster slot, replicated across every group.
+enum Slot {
+    /// A synthetic shared-file reader: tiny, always an in-memory slice.
+    Reader(Arc<[IoEvent]>),
+    /// A traced application, fed from the store per group — a zero-copy
+    /// shared slice normally, a streaming cursor in budget mode.
+    App(AppKind),
+}
+
+/// [`run_campaign`] against an explicit store. With a budgeted store
+/// every application process pulls its trace through a streaming
+/// cursor, so campaign residency is bounded by the live cursors' blocks
+/// (plus the tiny shared-reader slices) rather than the roster size.
+/// The report stays byte-identical to the in-memory run.
+pub fn run_campaign_in(store: &TraceStore, spec: &CampaignSpec, shards: usize) -> ClusterReport {
     assert!(spec.groups >= 1 && spec.procs_per_group >= 1, "campaign needs processes");
     let mut cfg = ShardedConfig::new(spec.groups, spec.base_config());
     cfg.epoch = spec.epoch;
     cfg.max_active = spec.max_active;
     let mut cluster = ShardedSimulation::new(cfg);
 
-    // One roster, reused by every group: slot j of group g replays the
-    // same Arc-shared slice as slot j of group 0.
-    let roster: Vec<(String, Arc<[IoEvent]>)> = (0..spec.procs_per_group)
+    // One roster, replicated into every group: slot j of group g replays
+    // the same trace as slot j of group 0.
+    let roster: Vec<(String, Slot)> = (0..spec.procs_per_group)
         .map(|j| {
             let pid = (j + 1) as u32;
             let shared =
@@ -139,22 +161,24 @@ pub fn run_campaign(spec: &CampaignSpec, shards: usize) -> ClusterReport {
                 let stream = (j / spec.shared_file_every) as u32;
                 (
                     format!("shared{stream}"),
-                    shared_reader_events(pid, stream, spec.reads_per_shared.max(1)),
+                    Slot::Reader(shared_reader_events(pid, stream, spec.reads_per_shared.max(1))),
                 )
             } else {
                 let kind: AppKind = ALL_APPS[j % ALL_APPS.len()];
-                (
-                    format!("{}#{}", kind.name(), j),
-                    app_events(kind, pid, spec.seed, spec.scale),
-                )
+                (format!("{}#{}", kind.name(), j), Slot::App(kind))
             }
         })
         .collect();
 
     for g in 0..spec.groups {
-        for (j, (name, events)) in roster.iter().enumerate() {
+        for (j, (name, slot)) in roster.iter().enumerate() {
+            let pid = (j + 1) as u32;
+            let feed = match slot {
+                Slot::Reader(events) => ProcessFeed::Shared(Arc::clone(events)),
+                Slot::App(kind) => store.feed(*kind, pid, spec.seed, spec.scale),
+            };
             cluster
-                .add_process_shared(g, (j + 1) as u32, name.clone(), Arc::clone(events))
+                .add_process_feed(g, pid, name.clone(), feed)
                 .expect("campaign roster pids are unique per group and ids fit");
         }
     }

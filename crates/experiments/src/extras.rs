@@ -22,7 +22,7 @@ pub fn compression_table(scale: Scale, seed: u64) -> Vec<CompressionRow> {
     ALL_APPS
         .iter()
         .map(|&kind| {
-            let trace = app_trace(kind, 1, seed, scale);
+            let trace = app_trace(kind, 1, seed, scale).trace();
             CompressionRow {
                 app: kind.name().to_string(),
                 report: measure_compression(&trace).expect("generated traces encode"),
@@ -70,7 +70,7 @@ pub fn amdahl_table(scale: Scale, seed: u64) -> Vec<AmdahlRow> {
     ALL_APPS
         .iter()
         .map(|&kind| {
-            let trace = app_trace(kind, 1, seed, scale);
+            let trace = app_trace(kind, 1, seed, scale).trace();
             let summary = AppSummary::from_trace(&trace);
             AmdahlRow {
                 app: kind.name().to_string(),

@@ -30,7 +30,7 @@ pub struct DemandFigure {
 }
 
 fn demand_figure(kind: AppKind, scale: Scale, seed: u64) -> DemandFigure {
-    let trace = app_trace(kind, 1, seed, scale);
+    let trace = app_trace(kind, 1, seed, scale).trace();
     let series = cpu_time_series(&trace, SimDuration::from_secs(1), Select::Both);
     let b = Burstiness::of(&series);
     let cycles = detect_cycles(&trace, SimDuration::from_secs(1));
@@ -131,9 +131,13 @@ pub fn two_venus_report_in(
         c.write_policy = write_policy;
     }
     let mut sim = Simulation::new(config);
-    sim.add_process_shared(1, "venus#1", store.events(AppKind::Venus, 1, seed, scale))
+    // feed() picks the replay shape for us: a zero-copy shared slice
+    // normally, a bounded-memory streaming cursor when the store has a
+    // memory budget. The event sequence — and so the report — is
+    // identical either way.
+    sim.add_process_feed(1, "venus#1", store.feed(AppKind::Venus, 1, seed, scale))
         .expect("valid process");
-    sim.add_process_shared(2, "venus#2", store.events(AppKind::Venus, 2, seed + 1, scale))
+    sim.add_process_feed(2, "venus#2", store.feed(AppKind::Venus, 2, seed + 1, scale))
         .expect("valid process");
     sim.run()
 }

@@ -17,10 +17,12 @@
 //! | [`extras`] | appendix compression study + Amdahl balance sheet |
 //! | [`ablations`] | read-ahead / write policy / quantum / queueing sweeps |
 //! | [`campaign`] | cluster-scale sharded campaigns (beyond the paper) |
+//! | [`dfg`] | parallel directly-follows-graph scan of stored frame files |
 
 pub mod ablations;
 pub mod campaign;
 pub mod claims;
+pub mod dfg;
 pub mod extras;
 pub mod figures;
 pub mod nplus1;
@@ -30,10 +32,13 @@ pub mod runner;
 pub mod tables;
 pub mod trace_store;
 
-pub use campaign::{run_campaign, CampaignSpec};
+pub use campaign::{run_campaign, run_campaign_in, CampaignSpec};
 pub use par_sweep::{
-    apply_progress_flag, apply_shards_flag, apply_standard_flags, apply_threads_flag, par_sweep,
-    progress_enabled, serial_sweep, shard_count, thread_count,
+    apply_progress_flag, apply_shards_flag, apply_standard_flags, apply_threads_flag,
+    apply_trace_dir_flag, apply_trace_mem_budget_flag, par_sweep, progress_enabled, serial_sweep,
+    shard_count, thread_count,
 };
 pub use runner::{app_events, app_trace, scaled_spec, Scale};
-pub use trace_store::{StoreFootprint, TraceArtifact, TraceStore};
+pub use trace_store::{
+    SpilledCursor, StoreConfig, StoreFootprint, TraceArtifact, TraceStore, SPILL_BLOCK_EVENTS,
+};

@@ -101,6 +101,51 @@ pub fn apply_shards_flag(args: &mut Vec<String>) -> Result<(), String> {
     }
 }
 
+/// Consume a `--trace-dir PATH` flag, exporting it as `MILLER_TRACE_DIR`
+/// so the global [`crate::TraceStore`] spills to (and reuses frame files
+/// from) that directory. Returns an error message when the flag is
+/// present but missing its value.
+pub fn apply_trace_dir_flag(args: &mut Vec<String>) -> Result<(), String> {
+    let Some(i) = args.iter().position(|a| a == "--trace-dir") else {
+        return Ok(());
+    };
+    if i + 1 >= args.len() {
+        return Err("--trace-dir needs a path".into());
+    }
+    let raw = args.remove(i + 1);
+    args.remove(i);
+    // A path can't fail to parse the way the numeric flags do, so catch
+    // the swallowed-flag mistake (`--trace-dir --quick`) explicitly.
+    if raw.trim().is_empty() || raw.starts_with("--") {
+        return Err(format!("--trace-dir needs a path, got `{raw}`"));
+    }
+    std::env::set_var("MILLER_TRACE_DIR", raw);
+    Ok(())
+}
+
+/// Consume a `--trace-mem-budget MB` flag, exporting it as
+/// `MILLER_TRACE_MEM_BUDGET` so the global [`crate::TraceStore`] bounds
+/// resident trace bytes and streams replays from spilled frame files
+/// (a one-line stderr note announces the first spill). Returns an error
+/// message when the flag is present but malformed.
+pub fn apply_trace_mem_budget_flag(args: &mut Vec<String>) -> Result<(), String> {
+    let Some(i) = args.iter().position(|a| a == "--trace-mem-budget") else {
+        return Ok(());
+    };
+    if i + 1 >= args.len() {
+        return Err("--trace-mem-budget needs a value in MB".into());
+    }
+    let raw = args.remove(i + 1);
+    args.remove(i);
+    match raw.trim().parse::<usize>() {
+        Ok(mb) => {
+            std::env::set_var("MILLER_TRACE_MEM_BUDGET", mb.to_string());
+            Ok(())
+        }
+        _ => Err(format!("--trace-mem-budget needs an integer MB count, got `{raw}`")),
+    }
+}
+
 /// True when the sweep heartbeat reporter is on: `MILLER_PROGRESS` set
 /// to anything non-empty other than `0`.
 pub fn progress_enabled() -> bool {
@@ -117,13 +162,18 @@ pub fn apply_progress_flag(args: &mut Vec<String>) {
 }
 
 /// Apply the flag set every repro binary shares, in the required order:
-/// `--threads N`, `--shards N`, `--progress`, `--profile-capacity N`
-/// (which must precede `--profile` so the ring is sized before recording
-/// can allocate it), then `--profile PATH`. Returns the profile output
-/// path to hand to [`obs::finish_profile`], or the first flag error.
+/// `--threads N`, `--shards N`, `--trace-dir PATH`,
+/// `--trace-mem-budget MB` (both of which must run before the first
+/// trace-store access, which every repro main defers until after flag
+/// parsing), `--progress`, `--profile-capacity N` (which must precede
+/// `--profile` so the ring is sized before recording can allocate it),
+/// then `--profile PATH`. Returns the profile output path to hand to
+/// [`obs::finish_profile`], or the first flag error.
 pub fn apply_standard_flags(args: &mut Vec<String>) -> Result<Option<String>, String> {
     apply_threads_flag(args)?;
     apply_shards_flag(args)?;
+    apply_trace_dir_flag(args)?;
+    apply_trace_mem_budget_flag(args)?;
     apply_progress_flag(args);
     obs::apply_profile_capacity_flag(args)?;
     obs::apply_profile_flag(args)
@@ -336,6 +386,31 @@ mod tests {
     // tests in one binary run concurrently, so it is exercised end-to-end
     // by the CI determinism guard (`repro-sim --campaign ... --shards 4`)
     // instead of here.
+    // Error paths only, for the same reason as the shards flag below:
+    // the happy path mutates process-global env vars, which races the
+    // other tests in this binary; it is exercised end-to-end by the CI
+    // streamed-replay cmp guard (`repro-sim --campaign ...
+    // --trace-mem-budget 1 --trace-dir ...`).
+    #[test]
+    fn trace_flags_reject_bad_values() {
+        let mut missing_dir: Vec<String> = ["bin", "--trace-dir"].map(String::from).into();
+        assert!(apply_trace_dir_flag(&mut missing_dir).is_err());
+        let mut empty_dir: Vec<String> = ["bin", "--trace-dir", "  "].map(String::from).into();
+        assert!(apply_trace_dir_flag(&mut empty_dir).is_err());
+        let mut ate_flag: Vec<String> =
+            ["bin", "--trace-dir", "--quick"].map(String::from).into();
+        assert!(apply_trace_dir_flag(&mut ate_flag).is_err(), "a flag is not a path");
+        let mut missing_mb: Vec<String> = ["bin", "--trace-mem-budget"].map(String::from).into();
+        assert!(apply_trace_mem_budget_flag(&mut missing_mb).is_err());
+        let mut junk_mb: Vec<String> =
+            ["bin", "--trace-mem-budget", "lots"].map(String::from).into();
+        assert!(apply_trace_mem_budget_flag(&mut junk_mb).is_err());
+        let mut absent: Vec<String> = ["bin", "--quick"].map(String::from).into();
+        assert!(apply_trace_dir_flag(&mut absent).is_ok());
+        assert!(apply_trace_mem_budget_flag(&mut absent).is_ok());
+        assert_eq!(absent.len(), 2, "absent flags leave the args untouched");
+    }
+
     #[test]
     fn shards_flag_rejects_bad_values() {
         let mut missing: Vec<String> = ["bin", "--shards"].map(String::from).into();

@@ -50,8 +50,9 @@ pub fn scaled_spec(kind: AppKind, pid: u32, scale: Scale) -> AppSpec {
 }
 
 /// The (scaled) trace for one application instance, memoized in the
-/// process-wide [`TraceStore`]. Derefs to `&Trace` for analysis
-/// consumers; use [`app_events`] for the zero-copy replay handle.
+/// process-wide [`TraceStore`]. Call `.trace()` to materialize the full
+/// comment-bearing `Trace` for analysis consumers; use [`app_events`]
+/// for the zero-copy replay handle.
 pub fn app_trace(kind: AppKind, pid: u32, seed: u64, scale: Scale) -> Arc<TraceArtifact> {
     TraceStore::global().artifact(kind, pid, seed, scale)
 }
@@ -70,8 +71,9 @@ mod tests {
 
     #[test]
     fn scaling_preserves_rates() {
-        let full = AppSummary::from_trace(&app_trace(AppKind::Venus, 1, 7, Scale::FULL));
-        let quick = AppSummary::from_trace(&app_trace(AppKind::Venus, 1, 7, Scale::quick(8)));
+        let full = AppSummary::from_trace(&app_trace(AppKind::Venus, 1, 7, Scale::FULL).trace());
+        let quick =
+            AppSummary::from_trace(&app_trace(AppKind::Venus, 1, 7, Scale::quick(8)).trace());
         assert!(quick.cpu_secs < full.cpu_secs / 4.0);
         let rel = (quick.mb_per_sec - full.mb_per_sec).abs() / full.mb_per_sec;
         assert!(rel < 0.05, "scaled rate {} vs full {}", quick.mb_per_sec, full.mb_per_sec);
@@ -79,8 +81,9 @@ mod tests {
 
     #[test]
     fn scaling_compulsory_apps_shrinks_transfers() {
-        let full = AppSummary::from_trace(&app_trace(AppKind::Upw, 1, 7, Scale::FULL));
-        let quick = AppSummary::from_trace(&app_trace(AppKind::Upw, 1, 7, Scale::quick(4)));
+        let full = AppSummary::from_trace(&app_trace(AppKind::Upw, 1, 7, Scale::FULL).trace());
+        let quick =
+            AppSummary::from_trace(&app_trace(AppKind::Upw, 1, 7, Scale::quick(4)).trace());
         assert!(quick.total_io_mb < full.total_io_mb / 3.0);
     }
 
@@ -88,6 +91,6 @@ mod tests {
     fn full_scale_is_identity() {
         let a = app_trace(AppKind::Ccm, 2, 9, Scale::FULL);
         let b = workload::generate(&AppKind::Ccm.spec(2), 9);
-        assert_eq!(a.trace(), &b);
+        assert_eq!(a.trace(), b);
     }
 }

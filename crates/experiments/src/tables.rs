@@ -46,7 +46,7 @@ fn build(scale: Scale, seed: u64) -> TableResult {
     // order follows ALL_APPS (the paper's order) regardless of which
     // app finishes first.
     let rows = crate::par_sweep::par_sweep(&ALL_APPS, |&kind| {
-        let trace = app_trace(kind, 1, seed, scale);
+        let trace = app_trace(kind, 1, seed, scale).trace();
         AppRow {
             app: kind.name().to_string(),
             paper: paper_targets(kind),

@@ -53,6 +53,20 @@ pub enum TraceError {
         /// The value that did not fit.
         value: u64,
     },
+    /// A binary frame container (stream_v2) structure was malformed.
+    BadFrame {
+        /// Best-effort byte offset where the problem was detected.
+        offset: u64,
+        /// What was wrong.
+        what: &'static str,
+    },
+    /// A frame block's payload failed its checksum.
+    ChecksumMismatch {
+        /// Zero-based block index.
+        block: usize,
+    },
+    /// The frame file or stream ended in the middle of a structure.
+    Truncated,
 }
 
 impl fmt::Display for TraceError {
@@ -79,6 +93,13 @@ impl fmt::Display for TraceError {
             TraceError::FieldOverflow { field, value } => {
                 write!(f, "field `{field}` value {value} exceeds the format's 32-bit width")
             }
+            TraceError::BadFrame { offset, what } => {
+                write!(f, "frame byte {offset}: {what}")
+            }
+            TraceError::ChecksumMismatch { block } => {
+                write!(f, "frame block {block}: payload checksum mismatch")
+            }
+            TraceError::Truncated => write!(f, "frame truncated mid-structure"),
         }
     }
 }

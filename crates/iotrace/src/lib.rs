@@ -55,6 +55,7 @@ pub mod error;
 pub mod flags;
 pub mod record;
 pub mod stream;
+pub mod stream_v2;
 
 pub use codec::{TraceDecoder, TraceEncoder};
 pub use compression::{measure as measure_compression, CompressionReport};
@@ -62,3 +63,7 @@ pub use error::TraceError;
 pub use flags::{CacheOutcome, Compression, DataKind, Direction, RecordType, Scope, Synchrony};
 pub use record::{IoEvent, TraceItem};
 pub use stream::{merge_traces, read_trace, write_trace, Trace};
+pub use stream_v2::{
+    encode_frames, read_frames, write_frame_file, write_frame_file_with, BlockEntry, FrameCursor,
+    FrameFile, FrameIndex, FrameStream, FrameWriter,
+};

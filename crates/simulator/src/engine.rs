@@ -24,7 +24,7 @@
 
 use crate::config::SimConfig;
 use crate::metrics::{ProcessMetrics, SimReport};
-use crate::process::{ProcState, ProcessState};
+use crate::process::{EventSource, ProcState, ProcessFeed, ProcessState};
 use buffer_cache::{BlockCache, ByteRange, ReadOutcome, WriteOutcome};
 use iotrace::{Direction, IoEvent, Synchrony, Trace};
 use rustc_hash::FxHashMap;
@@ -300,16 +300,46 @@ impl Simulation {
         name: impl Into<String>,
         events: Arc<[IoEvent]>,
     ) -> Result<(), AddProcessError> {
+        self.add_process_feed(pid, name, ProcessFeed::Shared(events))
+    }
+
+    /// Add a process replaying a streaming [`EventSource`] — the
+    /// bounded-memory path. Only the source's current decode block is
+    /// ever resident; replay order (and therefore every report byte) is
+    /// identical to feeding the same trace through
+    /// [`Simulation::add_process_shared`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Simulation::add_process`]; the file-id check
+    /// uses the source's index-backed [`EventSource::max_file_id`] bound
+    /// rather than decoding the stream.
+    pub fn add_process_streamed(
+        &mut self,
+        pid: u32,
+        name: impl Into<String>,
+        source: Box<dyn EventSource>,
+    ) -> Result<(), AddProcessError> {
+        self.add_process_feed(pid, name, ProcessFeed::Streamed(source))
+    }
+
+    /// Shared validation + registration behind both feed kinds.
+    pub fn add_process_feed(
+        &mut self,
+        pid: u32,
+        name: impl Into<String>,
+        feed: ProcessFeed,
+    ) -> Result<(), AddProcessError> {
         if pid >= 1 << 16 {
             return Err(AddProcessError::PidTooWide(pid));
         }
         if self.procs.iter().any(|p| p.pid == pid) {
             return Err(AddProcessError::DuplicatePid(pid));
         }
-        if let Some(e) = events.iter().find(|e| e.file_id >= 1 << 16) {
-            return Err(AddProcessError::FileIdTooWide { pid, file_id: e.file_id });
+        if let Some(file_id) = feed.oversized_file_id() {
+            return Err(AddProcessError::FileIdTooWide { pid, file_id });
         }
-        self.procs.push(ProcessState::new(pid, name, events));
+        self.procs.push(ProcessState::from_feed(pid, name, feed));
         Ok(())
     }
 
@@ -865,7 +895,7 @@ impl Simulation {
         now: SimTime,
         pid: u32,
         name: impl Into<String>,
-        events: Arc<[IoEvent]>,
+        feed: ProcessFeed,
     ) -> Result<(), AddProcessError> {
         debug_assert!(self.started, "admit_process_at before start()");
         if pid >= 1 << 16 {
@@ -874,10 +904,10 @@ impl Simulation {
         if self.procs.iter().any(|p| p.pid == pid) {
             return Err(AddProcessError::DuplicatePid(pid));
         }
-        if let Some(e) = events.iter().find(|e| e.file_id >= 1 << 16) {
-            return Err(AddProcessError::FileIdTooWide { pid, file_id: e.file_id });
+        if let Some(file_id) = feed.oversized_file_id() {
+            return Err(AddProcessError::FileIdTooWide { pid, file_id });
         }
-        self.procs.push(ProcessState::new(pid, name, events));
+        self.procs.push(ProcessState::from_feed(pid, name, feed));
         self.slice_info.push(None);
         let slot = self.procs.len() - 1;
         if self.procs[slot].state == ProcState::Done {

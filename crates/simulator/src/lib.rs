@@ -50,7 +50,7 @@ pub mod process;
 pub mod sharded;
 
 pub use config::{CacheTier, SchedParams, SimConfig};
-pub use process::{ProcState, ProcessState};
+pub use process::{EventSource, ProcState, ProcessFeed, ProcessState};
 pub use engine::{AddProcessError, Simulation, SHARED_FILE_BIT};
 pub use metrics::{ProcessMetrics, SimReport};
 pub use sharded::{ClusterReport, GroupSummary, ShardedConfig, ShardedSimulation};

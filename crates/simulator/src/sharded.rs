@@ -55,6 +55,7 @@
 
 use crate::config::SimConfig;
 use crate::engine::{AddProcessError, OutMsg, Simulation};
+use crate::process::{EventSource, ProcessFeed};
 use buffer_cache::{range_owner, CacheStats};
 use iotrace::{IoEvent, Trace};
 use serde::{Deserialize, Serialize};
@@ -103,7 +104,7 @@ struct Parked {
     group: usize,
     pid: u32,
     name: String,
-    events: Arc<[IoEvent]>,
+    feed: ProcessFeed,
 }
 
 /// Builder/driver for a sharded run: add processes (each pinned to a
@@ -254,6 +255,36 @@ impl ShardedSimulation {
         name: impl Into<String>,
         events: Arc<[IoEvent]>,
     ) -> Result<(), AddProcessError> {
+        self.add_process_feed(group, pid, name, ProcessFeed::Shared(events))
+    }
+
+    /// Queue a process replaying a streaming [`EventSource`] — the
+    /// bounded-memory path, mirroring
+    /// [`Simulation::add_process_streamed`]. Each queued process needs
+    /// its own source (its own cursor); sources backed by the same
+    /// spilled trace share decoded blocks at the storage layer.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ShardedSimulation::add_process`].
+    pub fn add_process_streamed(
+        &mut self,
+        group: usize,
+        pid: u32,
+        name: impl Into<String>,
+        source: Box<dyn EventSource>,
+    ) -> Result<(), AddProcessError> {
+        self.add_process_feed(group, pid, name, ProcessFeed::Streamed(source))
+    }
+
+    /// Shared validation + parking behind both feed kinds.
+    pub fn add_process_feed(
+        &mut self,
+        group: usize,
+        pid: u32,
+        name: impl Into<String>,
+        feed: ProcessFeed,
+    ) -> Result<(), AddProcessError> {
         if group >= self.cfg.groups {
             return Err(AddProcessError::UnknownGroup(group));
         }
@@ -263,10 +294,10 @@ impl ShardedSimulation {
         if self.parked.iter().any(|q| q.group == group && q.pid == pid) {
             return Err(AddProcessError::DuplicatePid(pid));
         }
-        if let Some(e) = events.iter().find(|e| e.file_id >= 1 << 16) {
-            return Err(AddProcessError::FileIdTooWide { pid, file_id: e.file_id });
+        if let Some(file_id) = feed.oversized_file_id() {
+            return Err(AddProcessError::FileIdTooWide { pid, file_id });
         }
-        self.parked.push_back(Parked { group, pid, name: name.into(), events });
+        self.parked.push_back(Parked { group, pid, name: name.into(), feed });
         Ok(())
     }
 
@@ -480,7 +511,7 @@ fn admit_ready(
     while *active < cap {
         let Some(p) = parked.pop_front() else { return };
         lock(&cells[p.group])
-            .admit_process_at(now, p.pid, p.name, p.events)
+            .admit_process_at(now, p.pid, p.name, p.feed)
             .expect("process validated when queued");
         *active += 1;
         stats.admissions += 1;

@@ -114,8 +114,8 @@ fn cmd_generate(rest: &[String]) -> Result<(), String> {
     let name = args.first().ok_or("generate needs an application name")?;
     let kind = AppKind::from_name(name)
         .ok_or_else(|| format!("unknown app `{name}` (try `mio apps`)"))?;
-    let trace = miller_core::app_trace(kind, 1, seed, miller_core::Scale(scale));
-    write_out(trace.trace(), out.as_deref())?;
+    let trace = miller_core::app_trace(kind, 1, seed, miller_core::Scale(scale)).trace();
+    write_out(&trace, out.as_deref())?;
     eprintln!(
         "generated {}: {} records, {:.1} MB of I/O",
         kind.name(),
