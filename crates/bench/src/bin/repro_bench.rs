@@ -1,7 +1,9 @@
 //! `repro_bench` — machine-readable timing of the simulation sweeps.
 //!
 //! Runs the Figure 6/7 fixed simulations, the Figure 8 cache sweep
-//! (through the parallel harness), the trace-generation and cold/warm
+//! (through the parallel harness), the `fig8_modern_sweep` rerun of the
+//! same grid on the 2026 tiered device hierarchy (exercising the
+//! queue-aware NVMe/elevator models), the trace-generation and cold/warm
 //! trace-store benches (interleaved best-of-five pairs against fresh
 //! stores; a warm sweep slower than cold fails the run), the
 //! `shard_scale_10k` campaign — 1000 groups x 10 processes x 1 disk
@@ -319,6 +321,13 @@ fn run_benches(scale: Scale, seed: u64) -> Vec<SweepTiming> {
     sweeps.push(cold_best.expect("five cold repetitions ran"));
     sweeps.push(warm_best.expect("five warm repetitions ran"));
 
+    // The 2026-device rerun (`repro-sim --devices modern`): the same
+    // cache sweep against the tiered NVMe/elevator/tape hierarchy, so
+    // the queue-aware device models sit on a gated hot path too.
+    sweeps.push(timed("fig8_modern_sweep", || {
+        miller_core::modern::modern_sweep_ios(scale, seed)
+    }));
+
     // Cluster scale-out: the 10k-process / 1k-disk datacenter campaign
     // through the sharded engine at 1 shard and at 8. Both runs produce
     // the byte-identical report (pinned by the determinism tests); what
@@ -405,7 +414,10 @@ fn run_benches(scale: Scale, seed: u64) -> Vec<SweepTiming> {
             x ^= x >> 7;
             x ^= x << 17;
             let now = SimTime::from_ticks(i * 1_000);
-            let offset = (x % (4 * 1024)) * 4096 + (x % 7) * 256 * MB;
+            // Strides stay within the ~1.2 GB Y-MP platter: the device
+            // model clamps (and under debug asserts on) out-of-range
+            // extents, so the bench must issue well-formed ones.
+            let offset = (x % (4 * 1024)) * 4096 + (x % 4) * 256 * MB;
             let kind = if x.is_multiple_of(4) { AccessKind::Write } else { AccessKind::Read };
             total += disk.access(now, kind, offset, 4096);
         }

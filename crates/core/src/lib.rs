@@ -32,18 +32,21 @@ pub use batch_queue::{BatchMachine, Job, JobOutcome, QueueDef};
 pub use buffer_cache::{BlockCache, CacheConfig, CacheStats, WritePolicy};
 pub use fs_map::{measure as measure_amplification, translate as translate_to_physical, Amplification, FsConfig, FsLayout};
 pub use experiments::{
-    ablations, app_events, app_trace, claims, extras, figures, nplus1, par_sweep, render,
+    ablations, app_events, app_trace, claims, extras, figures, modern, nplus1, par_sweep, render,
     run_campaign, run_campaign_in, scaled_spec, serial_sweep, shard_count, tables, thread_count,
-    CampaignSpec, Scale, StoreConfig, StoreFootprint, TraceArtifact, TraceStore,
+    CampaignSpec, ModernComparison, Scale, StoreConfig, StoreFootprint, TraceArtifact, TraceStore,
 };
-pub use iosim::{CacheTier, ClusterReport, SchedParams, SimConfig, SimReport, Simulation};
+pub use iosim::{CacheTier, ClusterReport, DeviceSpec, SchedParams, SimConfig, SimReport, Simulation};
 pub use iotrace::{
     encode_frames, measure_compression, read_trace, write_trace, CompressionReport, DataKind,
     Direction, FrameFile, IoEvent, Scope, Synchrony, Trace, TraceDecoder, TraceEncoder, TraceItem,
 };
 pub use procstat::{reconstruct, Collector, LibraryShim, Pipe, PipelineReport, ShimConfig};
 pub use sim_core::{SimDuration, SimRng, SimTime};
-pub use storage_model::{BlockDevice, DiskModel, DiskParams, SsdModel, SsdParams, TapeModel};
+pub use storage_model::{
+    AnyDevice, BlockDevice, DiskModel, DiskParams, DiskSched, NvmeModel, NvmeParams, SsdModel,
+    SsdParams, TapeModel, TapeParams, TieredDevice, TieredParams,
+};
 pub use trace_analysis::{
     amdahl::{AmdahlReport, YMP_DEFAULT_MIPS},
     analyze_seeks, analyze_sequentiality, classify_trace, cpu_time_series, detect_cycles, wall_time_series,

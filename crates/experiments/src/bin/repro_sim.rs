@@ -19,6 +19,13 @@
 //! `--shards N` worker threads; `--json PATH` then writes the
 //! [`iosim::ClusterReport`], which is byte-identical at any shard count.
 //!
+//! `--devices modern` reruns the Figure 8 cache sweep on 2026 hardware
+//! (queue-aware NVMe + elevator disk + tape in a tiered hierarchy, CPU
+//! 500× faster) side by side with the 1991 run, answering whether the
+//! paper's ">99% CPU utilization with an SSD-sized cache" claim
+//! survives; `--json PATH` writes the
+//! [`experiments::ModernComparison`], byte-identical at any `--shards`.
+//!
 //! `--dfg-out PATH` additionally runs the post-hoc directly-follows
 //! analysis over the figure traces — exported as binary frame files and
 //! scanned block-by-block in parallel — writing the report JSON to PATH
@@ -76,6 +83,21 @@ fn main() {
         }
     };
     let scale = if args.iter().any(|a| a == "--quick") { Scale(8) } else { Scale::FULL };
+
+    if experiments::modern_devices() {
+        let c = experiments::modern_comparison(scale, 42);
+        print!("{}", experiments::render_modern(&c));
+        if let Some(i) = args.iter().position(|a| a == "--json") {
+            let path = args.get(i + 1).expect("--json needs a path");
+            std::fs::write(path, serde_json::to_string_pretty(&c).expect("serialize"))
+                .expect("write json");
+            eprintln!("wrote {path}");
+        }
+        if let Some(path) = &profile {
+            obs::finish_profile(path);
+        }
+        return;
+    }
 
     if let Some(i) = args.iter().position(|a| a == "--campaign") {
         let raw = args.get(i + 1).cloned().unwrap_or_else(|| {

@@ -18,6 +18,7 @@
 //! | [`ablations`] | read-ahead / write policy / quantum / queueing sweeps |
 //! | [`campaign`] | cluster-scale sharded campaigns (beyond the paper) |
 //! | [`dfg`] | parallel directly-follows-graph scan of stored frame files |
+//! | [`modern`] | the fig8 cache sweep rerun on 2026 tiered hardware |
 
 pub mod ablations;
 pub mod campaign;
@@ -25,6 +26,7 @@ pub mod claims;
 pub mod dfg;
 pub mod extras;
 pub mod figures;
+pub mod modern;
 pub mod nplus1;
 pub mod par_sweep;
 pub mod render;
@@ -33,10 +35,11 @@ pub mod tables;
 pub mod trace_store;
 
 pub use campaign::{run_campaign, run_campaign_in, CampaignSpec};
+pub use modern::{modern_comparison, render_modern, DeviceEra, ModernComparison};
 pub use par_sweep::{
-    apply_progress_flag, apply_shards_flag, apply_standard_flags, apply_threads_flag,
-    apply_trace_dir_flag, apply_trace_mem_budget_flag, par_sweep, progress_enabled, serial_sweep,
-    shard_count, thread_count,
+    apply_devices_flag, apply_progress_flag, apply_shards_flag, apply_standard_flags,
+    apply_threads_flag, apply_trace_dir_flag, apply_trace_mem_budget_flag, modern_devices,
+    par_sweep, progress_enabled, serial_sweep, shard_count, thread_count,
 };
 pub use runner::{app_events, app_trace, scaled_spec, Scale};
 pub use trace_store::{

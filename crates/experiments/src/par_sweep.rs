@@ -146,6 +146,35 @@ pub fn apply_trace_mem_budget_flag(args: &mut Vec<String>) -> Result<(), String>
     }
 }
 
+/// True when `--devices modern` selected the 2026 hardware rerun:
+/// `MILLER_DEVICES` equals `modern`. Unset, `paper`, or `1991` mean the
+/// byte-identical paper-faithful device models.
+pub fn modern_devices() -> bool {
+    std::env::var("MILLER_DEVICES").is_ok_and(|v| v.trim() == "modern")
+}
+
+/// Consume a `--devices ERA` flag, exporting it as `MILLER_DEVICES`.
+/// Accepted eras: `paper` / `1991` (the default Y-MP devices) and
+/// `modern` (the 2026 tiered hierarchy rerun). Returns an error message
+/// when the flag is present but missing or naming an unknown era.
+pub fn apply_devices_flag(args: &mut Vec<String>) -> Result<(), String> {
+    let Some(i) = args.iter().position(|a| a == "--devices") else {
+        return Ok(());
+    };
+    if i + 1 >= args.len() {
+        return Err("--devices needs an era (paper|1991|modern)".into());
+    }
+    let raw = args.remove(i + 1);
+    args.remove(i);
+    match raw.trim() {
+        "paper" | "1991" | "modern" => {
+            std::env::set_var("MILLER_DEVICES", raw.trim());
+            Ok(())
+        }
+        _ => Err(format!("--devices needs one of paper|1991|modern, got `{raw}`")),
+    }
+}
+
 /// True when the sweep heartbeat reporter is on: `MILLER_PROGRESS` set
 /// to anything non-empty other than `0`.
 pub fn progress_enabled() -> bool {
@@ -165,7 +194,7 @@ pub fn apply_progress_flag(args: &mut Vec<String>) {
 /// `--threads N`, `--shards N`, `--trace-dir PATH`,
 /// `--trace-mem-budget MB` (both of which must run before the first
 /// trace-store access, which every repro main defers until after flag
-/// parsing), `--progress`, `--profile-capacity N` (which must precede
+/// parsing), `--devices ERA`, `--progress`, `--profile-capacity N` (which must precede
 /// `--profile` so the ring is sized before recording can allocate it),
 /// then `--profile PATH`. Returns the profile output path to hand to
 /// [`obs::finish_profile`], or the first flag error.
@@ -174,6 +203,7 @@ pub fn apply_standard_flags(args: &mut Vec<String>) -> Result<Option<String>, St
     apply_shards_flag(args)?;
     apply_trace_dir_flag(args)?;
     apply_trace_mem_budget_flag(args)?;
+    apply_devices_flag(args)?;
     apply_progress_flag(args);
     obs::apply_profile_capacity_flag(args)?;
     obs::apply_profile_flag(args)

@@ -61,6 +61,17 @@ pub struct DiskCounters {
     /// Power-of-two histogram of seek distances in bytes; `None` until a
     /// disk contributes one (e.g. a report built by hand).
     pub seek_distance_bytes: Option<Histogram>,
+    /// Power-of-two histogram of the queue depth each arriving request
+    /// observed; `None` unless a queueing device model contributed one
+    /// (the paper's no-queueing mode never does).
+    pub queue_depth: Option<Histogram>,
+    /// Tiered hierarchy: segments copied into a faster tier.
+    pub tier_promotions: u64,
+    /// Tiered hierarchy: segments evicted from a bounded tier.
+    pub tier_demotions: u64,
+    /// Tiered hierarchy: reads served per tier `[ram, ssd, disk, tape]`;
+    /// empty when no tiered device is configured.
+    pub tier_hits: Vec<u64>,
 }
 
 impl DiskCounters {
@@ -68,6 +79,19 @@ impl DiskCounters {
     pub fn merge(&mut self, other: &DiskCounters) {
         self.seeks += other.seeks;
         self.sequential_accesses += other.sequential_accesses;
+        self.tier_promotions += other.tier_promotions;
+        self.tier_demotions += other.tier_demotions;
+        if self.tier_hits.len() < other.tier_hits.len() {
+            self.tier_hits.resize(other.tier_hits.len(), 0);
+        }
+        for (slot, n) in self.tier_hits.iter_mut().zip(&other.tier_hits) {
+            *slot += n;
+        }
+        match (&mut self.queue_depth, &other.queue_depth) {
+            (Some(a), Some(b)) => a.merge(b),
+            (slot @ None, Some(b)) => *slot = Some(b.clone()),
+            (_, None) => {}
+        }
         match (&mut self.seek_distance_bytes, &other.seek_distance_bytes) {
             (Some(a), Some(b)) => a.merge(b),
             (slot @ None, Some(b)) => *slot = Some(b.clone()),
@@ -138,16 +162,24 @@ mod tests {
             seeks: 1,
             sequential_accesses: 10,
             seek_distance_bytes: Some(h1),
+            tier_hits: vec![5, 1],
+            ..Default::default()
         };
         let b = DiskCounters {
             seeks: 2,
             sequential_accesses: 20,
             seek_distance_bytes: Some(h2),
+            tier_promotions: 7,
+            tier_hits: vec![1, 2, 3, 4],
+            ..Default::default()
         };
         a.merge(&b);
         assert_eq!(a.seeks, 3);
         assert_eq!(a.sequential_accesses, 30);
         assert_eq!(a.seek_distance_bytes.as_ref().unwrap().total(), 3);
+        assert_eq!(a.tier_promotions, 7);
+        // Shorter tier vectors widen to the longer side, element-wise.
+        assert_eq!(a.tier_hits, vec![6, 3, 3, 4]);
 
         // Merging into a None slot adopts the histogram.
         let mut empty = DiskCounters::default();
@@ -156,6 +188,24 @@ mod tests {
         // And merging a None source is a no-op on the histogram.
         empty.merge(&DiskCounters::default());
         assert_eq!(empty.seek_distance_bytes.as_ref().unwrap().total(), 3);
+    }
+
+    #[test]
+    fn queue_depth_histogram_merges_like_seek_distance() {
+        let mut h1 = Histogram::pow2(1, 256);
+        h1.record(2.0);
+        let mut h2 = Histogram::pow2(1, 256);
+        h2.record(7.0);
+        let mut a = DiskCounters { queue_depth: Some(h1), ..Default::default() };
+        let b = DiskCounters { queue_depth: Some(h2), ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.queue_depth.as_ref().unwrap().total(), 2);
+        // None slots adopt; None sources are no-ops.
+        let mut empty = DiskCounters::default();
+        empty.merge(&a);
+        assert_eq!(empty.queue_depth.as_ref().unwrap().total(), 2);
+        empty.merge(&DiskCounters::default());
+        assert_eq!(empty.queue_depth.as_ref().unwrap().total(), 2);
     }
 
     #[test]

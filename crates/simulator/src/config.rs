@@ -3,7 +3,7 @@
 use buffer_cache::CacheConfig;
 use serde::{Deserialize, Serialize};
 use sim_core::SimDuration;
-use storage_model::DiskParams;
+use storage_model::{AnyDevice, DiskModel, DiskParams, NvmeModel, NvmeParams, TieredDevice, TieredParams};
 
 /// Scheduler parameters (§6.1: quantum, process-switch overhead, file
 /// system code overhead, interrupt service time).
@@ -60,6 +60,45 @@ impl CacheTier {
     }
 }
 
+/// Which device model backs the farm. `None` in [`SimConfig::devices`]
+/// means the paper's disk built from [`SimConfig::disk`] — the
+/// byte-identical default every figure uses.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum DeviceSpec {
+    /// The paper's disk model (any queueing/scheduler mode).
+    Disk(DiskParams),
+    /// A multi-queue NVMe flash device.
+    Nvme(NvmeParams),
+    /// The RAM → NVMe → disk → tape hierarchy.
+    Tiered(TieredParams),
+}
+
+impl DeviceSpec {
+    /// Build device `index` of the farm.
+    pub fn build(&self, index: usize) -> AnyDevice {
+        match self {
+            DeviceSpec::Disk(p) => {
+                AnyDevice::Disk(DiskModel::new(format!("disk{index}"), p.clone()))
+            }
+            DeviceSpec::Nvme(p) => {
+                AnyDevice::Nvme(NvmeModel::new(format!("nvme{index}"), p.clone()))
+            }
+            DeviceSpec::Tiered(p) => {
+                AnyDevice::Tiered(Box::new(TieredDevice::new(format!("tiered{index}"), p.clone())))
+            }
+        }
+    }
+
+    /// Per-device capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        match self {
+            DeviceSpec::Disk(p) => p.capacity,
+            DeviceSpec::Nvme(p) => p.capacity,
+            DeviceSpec::Tiered(p) => p.tape.capacity,
+        }
+    }
+}
+
 /// Full simulator configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -69,8 +108,17 @@ pub struct SimConfig {
     pub tier: CacheTier,
     /// Scheduler parameters.
     pub sched: SchedParams,
-    /// Disk model parameters (shared by every disk in the farm).
+    /// Disk model parameters (shared by every disk in the farm) when
+    /// `devices` is `None`.
     pub disk: DiskParams,
+    /// Alternative device model for the farm. `None` (the default and
+    /// the paper-faithful mode) builds classic disks from `disk`.
+    pub devices: Option<DeviceSpec>,
+    /// CPU-speed divisor applied to every compute phase: 1 (default)
+    /// replays the trace's Y-MP compute times untouched; a 2026 rerun
+    /// uses a large divisor because the same arithmetic now takes a
+    /// fraction of the time while the I/O volume is unchanged.
+    pub cpu_speedup: u64,
     /// Number of CPUs sharing the ready queue. The paper's simulator
     /// models one CPU (§6.1); more are an extension for reproducing the
     /// §2.2 "n+1 jobs keep n processors busy" rule of thumb.
@@ -91,6 +139,8 @@ impl Default for SimConfig {
             tier: CacheTier::MainMemory,
             sched: SchedParams::default(),
             disk: DiskParams::ymp(),
+            devices: None,
+            cpu_speedup: 1,
             n_cpus: 1,
             n_disks: 8,
             flush_batch: 4 * sim_core::units::MB,
@@ -120,9 +170,26 @@ impl SimConfig {
         SimConfig { cache: None, ..Default::default() }
     }
 
+    /// Build device `index` of the farm from whichever spec is active.
+    pub fn build_device(&self, index: usize) -> AnyDevice {
+        match &self.devices {
+            Some(spec) => spec.build(index),
+            None => AnyDevice::Disk(DiskModel::new(format!("disk{index}"), self.disk.clone())),
+        }
+    }
+
+    /// Per-device capacity of the active device model.
+    pub fn device_capacity(&self) -> u64 {
+        match &self.devices {
+            Some(spec) => spec.capacity(),
+            None => self.disk.capacity,
+        }
+    }
+
     /// Basic validation.
     pub fn validate(&self) {
         assert!(self.n_cpus > 0, "need at least one CPU");
+        assert!(self.cpu_speedup > 0, "cpu_speedup is a divisor; must be >= 1");
         assert!(self.n_disks > 0, "need at least one disk");
         assert!(self.flush_batch > 0, "flush batch must be positive");
         assert!(!self.sched.quantum.is_zero(), "quantum must be positive");
@@ -159,5 +226,34 @@ mod tests {
     fn zero_disks_rejected() {
         let c = SimConfig { n_disks: 0, ..Default::default() };
         c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "cpu_speedup")]
+    fn zero_speedup_rejected() {
+        let c = SimConfig { cpu_speedup: 0, ..Default::default() };
+        c.validate();
+    }
+
+    #[test]
+    fn default_devices_are_paper_disks() {
+        use storage_model::{AnyDevice, BlockDevice};
+        let c = SimConfig::default();
+        assert!(c.devices.is_none());
+        let d = c.build_device(3);
+        assert!(matches!(d, AnyDevice::Disk(_)));
+        assert_eq!(d.name(), "disk3");
+        assert_eq!(c.device_capacity(), c.disk.capacity);
+    }
+
+    #[test]
+    fn device_specs_build_their_models() {
+        use storage_model::{AnyDevice, NvmeParams, TieredParams};
+        let nvme = DeviceSpec::Nvme(NvmeParams::modern_2026());
+        assert!(matches!(nvme.build(0), AnyDevice::Nvme(_)));
+        assert_eq!(nvme.capacity(), NvmeParams::modern_2026().capacity);
+        let tiered = DeviceSpec::Tiered(TieredParams::modern_2026());
+        assert!(matches!(tiered.build(0), AnyDevice::Tiered(_)));
+        assert_eq!(tiered.capacity(), TieredParams::modern_2026().tape.capacity);
     }
 }

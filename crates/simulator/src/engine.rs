@@ -29,7 +29,7 @@ use buffer_cache::{BlockCache, ByteRange, ReadOutcome, WriteOutcome};
 use iotrace::{Direction, IoEvent, Synchrony, Trace};
 use rustc_hash::FxHashMap;
 use sim_core::{EventQueue, RateSeries, SimDuration, SimTime};
-use storage_model::{AccessKind, BlockDevice, DiskModel};
+use storage_model::{AccessKind, AnyDevice, BlockDevice};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -157,9 +157,12 @@ pub struct Simulation {
     slice_info: Vec<Option<(SimDuration, bool)>>,
     queue: EventQueue<Ev>,
     cache: Option<BlockCache>,
-    disks: Vec<DiskModel>,
+    disks: Vec<AnyDevice>,
     placements: FxHashMap<u32, Placement>,
     next_file_slot: Vec<u64>,
+    /// How many 256 MB file slots fit on one device; placement wraps so
+    /// file bases never exceed the device capacity.
+    slots_per_disk: u64,
     /// Blocks fetched by read-ahead or async demand whose data is still
     /// in flight, as disjoint ranges. Expired entries are purged lazily
     /// on probe.
@@ -213,12 +216,12 @@ impl Simulation {
         config.validate();
         let cache = config.cache.clone().map(BlockCache::new);
         let block_size = cache.as_ref().map(|c| c.config().block_size).unwrap_or(4096);
-        let disks = (0..config.n_disks)
-            .map(|i| DiskModel::new(format!("disk{i}"), config.disk.clone()))
-            .collect();
+        let disks = (0..config.n_disks).map(|i| config.build_device(i)).collect();
+        let slots_per_disk = (config.device_capacity() / (256 * sim_core::units::MB)).max(1);
         Simulation {
             cache,
             disks,
+            slots_per_disk,
             procs: Vec::new(),
             ready: VecDeque::new(),
             free_cpus: config.n_cpus,
@@ -349,12 +352,35 @@ impl Simulation {
         }
         let disk = (file as usize) % self.config.n_disks;
         // 256 MB slots: generous for every traced file; seek distances
-        // between files on a shared disk stay meaningful.
-        let base = self.next_file_slot[disk] * 256 * sim_core::units::MB;
+        // between files on a shared disk stay meaningful. Slots wrap at
+        // the device capacity so a farm hosting more files than slots
+        // overlays them instead of addressing past the end.
+        let base =
+            (self.next_file_slot[disk] % self.slots_per_disk) * 256 * sim_core::units::MB;
         self.next_file_slot[disk] += 1;
         let p = Placement { disk, base };
         self.placements.insert(file, p);
         p
+    }
+
+    /// Issue one device request at an absolute address, wrapping an
+    /// address that would overrun the device (large files overflowing
+    /// their 256 MB slot) back into range.
+    fn device_access(
+        &mut self,
+        now: SimTime,
+        disk: usize,
+        kind: AccessKind,
+        addr: u64,
+        length: u64,
+    ) -> SimDuration {
+        let cap = self.disks[disk].capacity();
+        let addr = if addr.saturating_add(length) > cap {
+            addr % cap.saturating_sub(length).max(1)
+        } else {
+            addr
+        };
+        self.disks[disk].access(now, kind, addr, length)
     }
 
     fn device_op(
@@ -366,7 +392,7 @@ impl Simulation {
         length: u64,
     ) -> SimDuration {
         let p = self.placement(file);
-        let d = self.disks[p.disk].access(now, kind, p.base + offset, length);
+        let d = self.device_access(now, p.disk, kind, p.base + offset, length);
         match kind {
             AccessKind::Read => self.disk_read_series.add(now, length as f64),
             AccessKind::Write => self.disk_write_series.add(now, length as f64),
@@ -453,6 +479,17 @@ impl Simulation {
             }
         }
         self.pending.push(PendingRange { file, first, last, ready });
+    }
+
+    /// Divide a trace compute gap by the configured CPU-speed factor
+    /// (identity in the paper-faithful `cpu_speedup == 1` mode).
+    #[inline]
+    fn scale_compute(&mut self, slot: usize) {
+        let s = self.config.cpu_speedup;
+        if s > 1 {
+            let p = &mut self.procs[slot];
+            p.compute_remaining = SimDuration::from_ticks(p.compute_remaining.ticks() / s);
+        }
     }
 
     /// Dispatch ready processes onto free CPUs.
@@ -674,6 +711,7 @@ impl Simulation {
         }
         self.slice_info.resize(self.procs.len(), None);
         for slot in 0..self.procs.len() {
+            self.scale_compute(slot);
             if self.procs[slot].state == ProcState::Ready {
                 self.ready.push_back(slot);
             } else {
@@ -703,6 +741,7 @@ impl Simulation {
                     self.ready.push_back(slot);
                 } else {
                     let ev = self.procs[slot].advance();
+                    self.scale_compute(slot);
                     if self.cluster && ev.file_id & SHARED_FILE_BIT != 0 {
                         self.remote_issue(now, slot, &ev);
                     } else {
@@ -910,6 +949,7 @@ impl Simulation {
         self.procs.push(ProcessState::from_feed(pid, name, feed));
         self.slice_info.push(None);
         let slot = self.procs.len() - 1;
+        self.scale_compute(slot);
         if self.procs[slot].state == ProcState::Done {
             // Born-done (empty trace): route through finish_process so
             // the admission scheduler gets its Done message back.
@@ -940,36 +980,32 @@ impl Simulation {
             let disk = (r.file_id as usize) % self.config.n_disks;
             let p = self.placements.get(&r.file_id).copied();
             if let Some(p) = p {
-                self.disks[p.disk].access(end, AccessKind::Write, p.base + r.offset, r.length);
+                self.device_access(end, p.disk, AccessKind::Write, p.base + r.offset, r.length);
             } else {
-                self.disks[disk].access(end, AccessKind::Write, r.offset, r.length);
+                self.device_access(end, disk, AccessKind::Write, r.offset, r.length);
             }
             self.disk_write_series.add(end, r.length as f64);
         }
-        if let Some(cache) = self.cache.as_mut() {
+        if let Some(mut cache) = self.cache.take() {
             let leftovers = cache.flush_all();
             for r in leftovers {
                 let disk = (r.file_id as usize) % self.config.n_disks;
                 let p = self.placements.get(&r.file_id).copied();
                 if let Some(p) = p {
-                    self.disks[p.disk].access(end, AccessKind::Write, p.base + r.offset, r.length);
+                    self.device_access(end, p.disk, AccessKind::Write, p.base + r.offset, r.length);
                 } else {
-                    self.disks[disk].access(end, AccessKind::Write, r.offset, r.length);
+                    self.device_access(end, disk, AccessKind::Write, r.offset, r.length);
                 }
                 self.disk_write_series.add(end, r.length as f64);
             }
+            self.cache = Some(cache);
         }
 
         let capacity = SimDuration::from_ticks(end.ticks() * self.config.n_cpus as u64);
         let idle = capacity.saturating_sub(self.busy);
         let mut disk_totals = storage_model::DeviceStats::default();
         for d in &self.disks {
-            let s = d.stats();
-            disk_totals.reads += s.reads;
-            disk_totals.writes += s.writes;
-            disk_totals.bytes_read += s.bytes_read;
-            disk_totals.bytes_written += s.bytes_written;
-            disk_totals.busy += s.busy;
+            disk_totals.merge(d.stats());
         }
         // Feed the process-wide event counter (sweep heartbeat ev/s).
         obs::add_sim_events(self.procs.iter().map(|p| p.ios_issued).sum());
@@ -1408,5 +1444,99 @@ mod tests {
         // No cross-process cache sharing: both processes miss on their
         // own namespaced blocks.
         assert_eq!(via_shared.cache.hit_blocks, via_traces.cache.hit_blocks);
+    }
+
+    #[test]
+    fn queueing_disk_reports_depth_distribution() {
+        use crate::config::DeviceSpec;
+        let mut cfg = SimConfig::uncached();
+        cfg.devices = Some(DeviceSpec::Disk(storage_model::DiskParams::ymp_with_elevator()));
+        let mut sim = Simulation::new(cfg);
+        sim.add_process(1, "r", &reader_trace(1, 50, 64 * KB, SimDuration::from_millis(1)))
+            .expect("valid process");
+        let r = sim.run();
+        assert_eq!(r.disk_totals.reads, 50);
+        let h = r.obs.disks.queue_depth.as_ref().expect("queueing farm reports depth");
+        assert_eq!(h.total(), 50);
+    }
+
+    #[test]
+    fn nvme_farm_is_faster_than_ymp_disks() {
+        use crate::config::DeviceSpec;
+        let trace = reader_trace(1, 200, 256 * KB, SimDuration::from_millis(1));
+        let run = |devices| {
+            let mut cfg = SimConfig::uncached();
+            cfg.devices = devices;
+            let mut sim = Simulation::new(cfg);
+            sim.add_process(1, "r", &trace).expect("valid process");
+            sim.run()
+        };
+        let ymp = run(None);
+        let nvme = run(Some(DeviceSpec::Nvme(storage_model::NvmeParams::modern_2026())));
+        assert!(
+            nvme.wall_end < ymp.wall_end,
+            "nvme {} should beat 1991 disks {}",
+            nvme.wall_end,
+            ymp.wall_end
+        );
+        assert_eq!(nvme.disk_totals.bytes_read, ymp.disk_totals.bytes_read);
+    }
+
+    #[test]
+    fn tiered_farm_runs_and_counts_tier_traffic() {
+        use crate::config::DeviceSpec;
+        let mut cfg = SimConfig::uncached();
+        cfg.devices = Some(DeviceSpec::Tiered(storage_model::TieredParams::modern_2026()));
+        cfg.n_disks = 2;
+        let mut sim = Simulation::new(cfg);
+        sim.add_process(1, "w", &writer_trace(1, 50, 64 * KB, SimDuration::from_millis(1)))
+            .expect("valid process");
+        let r = sim.run();
+        assert_eq!(r.disk_totals.bytes_written, 50 * 64 * KB);
+        let hits: u64 = r.obs.disks.tier_hits.iter().sum();
+        assert_eq!(hits, 50, "every write lands in a tier: {:?}", r.obs.disks.tier_hits);
+    }
+
+    #[test]
+    fn cpu_speedup_shrinks_compute_not_io() {
+        let trace = reader_trace(1, 100, 256 * KB, SimDuration::from_millis(20));
+        let run = |speedup| {
+            let mut cfg = SimConfig::uncached();
+            cfg.cpu_speedup = speedup;
+            let mut sim = Simulation::new(cfg);
+            sim.add_process(1, "r", &trace).expect("valid process");
+            sim.run()
+        };
+        let paper = run(1);
+        let modern = run(500);
+        assert!(
+            modern.wall_end < paper.wall_end,
+            "faster CPU {} should finish before {}",
+            modern.wall_end,
+            paper.wall_end
+        );
+        // Same I/O volume either way — only the compute gaps shrank.
+        assert_eq!(modern.disk_totals.bytes_read, paper.disk_totals.bytes_read);
+        assert!(modern.cpu_busy < paper.cpu_busy);
+    }
+
+    #[test]
+    fn placement_wraps_instead_of_overrunning_small_devices() {
+        // 40 files on ONE Y-MP disk (4 × 256 MB slots): without the wrap
+        // the 5th file's base would already exceed the 1200 MB capacity.
+        let mut cfg = SimConfig::uncached();
+        cfg.n_disks = 1;
+        let mut sim = Simulation::new(cfg);
+        let mut t = Trace::new();
+        let mut wall = SimTime::ZERO;
+        for f in 0..40u32 {
+            wall += SimDuration::from_millis(1);
+            t.push(IoEvent::logical(
+                Direction::Read, 1, f, 0, 64 * KB, wall, SimDuration::from_millis(1),
+            ));
+        }
+        sim.add_process(1, "many-files", &t).expect("valid process");
+        let r = sim.run();
+        assert_eq!(r.disk_totals.reads, 40);
     }
 }

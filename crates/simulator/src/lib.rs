@@ -49,7 +49,7 @@ pub mod metrics;
 pub mod process;
 pub mod sharded;
 
-pub use config::{CacheTier, SchedParams, SimConfig};
+pub use config::{CacheTier, DeviceSpec, SchedParams, SimConfig};
 pub use process::{EventSource, ProcState, ProcessFeed, ProcessState};
 pub use engine::{AddProcessError, Simulation, SHARED_FILE_BIT};
 pub use metrics::{ProcessMetrics, SimReport};

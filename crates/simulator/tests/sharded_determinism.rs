@@ -5,11 +5,36 @@
 //! well-formed workload mixes — plus the nastiest epoch alignment: a
 //! barrier landing exactly on a timing-wheel level boundary.
 
-use iosim::{ShardedConfig, ShardedSimulation, SimConfig, SHARED_FILE_BIT};
+use iosim::{DeviceSpec, ShardedConfig, ShardedSimulation, SimConfig, SHARED_FILE_BIT};
 use iotrace::{Direction, IoEvent, Synchrony, Trace};
 use proptest::prelude::*;
 use sim_core::units::KB;
 use sim_core::{SimDuration, SimTime};
+use storage_model::{DiskParams, NvmeParams, TieredParams};
+
+/// The device farms the invariance contract covers: the paper's
+/// no-queueing disk (`None`), FIFO and elevator queueing disks, the
+/// NVMe multi-queue flash device, and the tiered hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum DeviceKind {
+    Paper,
+    QueueingFifo,
+    Elevator,
+    Nvme,
+    Tiered,
+}
+
+impl DeviceKind {
+    fn spec(self) -> Option<DeviceSpec> {
+        match self {
+            DeviceKind::Paper => None,
+            DeviceKind::QueueingFifo => Some(DeviceSpec::Disk(DiskParams::ymp_with_queueing())),
+            DeviceKind::Elevator => Some(DeviceSpec::Disk(DiskParams::ymp_with_elevator())),
+            DeviceKind::Nvme => Some(DeviceSpec::Nvme(NvmeParams::modern_2026())),
+            DeviceKind::Tiered => Some(DeviceSpec::Tiered(TieredParams::modern_2026())),
+        }
+    }
+}
 
 #[derive(Debug, Clone)]
 struct ProcPlan {
@@ -74,7 +99,20 @@ fn run_cluster(
     epoch: SimDuration,
     shards: usize,
 ) -> String {
-    let mut cfg = ShardedConfig::new(groups, SimConfig::buffered(4 * 1024 * 1024));
+    run_cluster_on(groups, plans, max_active, epoch, shards, DeviceKind::Paper)
+}
+
+fn run_cluster_on(
+    groups: usize,
+    plans: &[ProcPlan],
+    max_active: Option<usize>,
+    epoch: SimDuration,
+    shards: usize,
+    device: DeviceKind,
+) -> String {
+    let mut base = SimConfig::buffered(4 * 1024 * 1024);
+    base.devices = device.spec();
+    let mut cfg = ShardedConfig::new(groups, base);
     cfg.epoch = epoch;
     cfg.max_active = max_active;
     let mut cluster = ShardedSimulation::new(cfg);
@@ -104,6 +142,28 @@ proptest! {
             prop_assert_eq!(
                 &baseline, &alt,
                 "report diverged between 1 and {} shards", shards
+            );
+        }
+    }
+
+    #[test]
+    fn queue_aware_devices_are_shard_count_invariant(
+        plans in proptest::collection::vec(arb_plan(), 1..8),
+        groups in 1usize..5,
+        device in prop::sample::select(vec![
+            DeviceKind::QueueingFifo,
+            DeviceKind::Elevator,
+            DeviceKind::Nvme,
+            DeviceKind::Tiered,
+        ]),
+    ) {
+        let epoch = SimDuration::from_millis(250);
+        let baseline = run_cluster_on(groups, &plans, Some(4), epoch, 1, device);
+        for shards in [2usize, 7] {
+            let alt = run_cluster_on(groups, &plans, Some(4), epoch, shards, device);
+            prop_assert_eq!(
+                &baseline, &alt,
+                "{:?} report diverged between 1 and {} shards", device, shards
             );
         }
     }

@@ -25,9 +25,15 @@ pub struct DeviceStats {
     pub bytes_read: u64,
     /// Bytes written.
     pub bytes_written: u64,
-    /// Total time the device spent servicing requests (includes any
-    /// queueing wait when the model queues).
+    /// Total time the device spent actively servicing requests
+    /// (positioning + transfer + per-request overhead). Time a request
+    /// spent waiting behind earlier requests accumulates in
+    /// [`DeviceStats::queue_wait`] instead, so `busy / wall` is a true
+    /// per-device utilization and cannot exceed 1.
     pub busy: SimDuration,
+    /// Total time requests spent queued behind earlier requests before
+    /// the device began servicing them. Zero for non-queueing models.
+    pub queue_wait: SimDuration,
 }
 
 impl DeviceStats {
@@ -49,8 +55,12 @@ impl DeviceStats {
         self.bytes_read += other.bytes_read;
         self.bytes_written += other.bytes_written;
         self.busy += other.busy;
+        self.queue_wait += other.queue_wait;
     }
 
+    /// Account one serviced request. `service` is pure device work —
+    /// queue wait is reported separately via
+    /// [`DeviceStats::note_queue_wait`].
     pub(crate) fn note(&mut self, kind: AccessKind, bytes: u64, service: SimDuration) {
         match kind {
             AccessKind::Read => {
@@ -64,6 +74,30 @@ impl DeviceStats {
         }
         self.busy += service;
     }
+
+    /// Account time a request spent waiting behind earlier requests.
+    pub(crate) fn note_queue_wait(&mut self, wait: SimDuration) {
+        self.queue_wait += wait;
+    }
+}
+
+/// Clamp a request extent to the device capacity.
+///
+/// Workloads are expected to stay within the device — an overrun is a
+/// bug in file placement or trace generation — so debug builds assert
+/// with the offending extent. Release builds saturate instead of
+/// silently addressing past the end: the access is truncated to the tail
+/// of the device (possibly to zero length when `offset` itself is past
+/// the end).
+#[inline]
+pub fn clamp_extent(device: &str, offset: u64, length: u64, capacity: u64) -> (u64, u64) {
+    debug_assert!(
+        offset.saturating_add(length) <= capacity,
+        "{device}: access [{offset}, +{length}) exceeds device capacity {capacity}"
+    );
+    let offset = offset.min(capacity);
+    let length = length.min(capacity - offset);
+    (offset, length)
 }
 
 /// A storage device that can service block requests.
@@ -112,5 +146,46 @@ mod tests {
         assert_eq!(s.total_requests(), 3);
         assert_eq!(s.total_bytes(), 5220);
         assert_eq!(s.busy, SimDuration::from_millis(6));
+        assert_eq!(s.queue_wait, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn queue_wait_accumulates_separately_from_busy() {
+        let mut s = DeviceStats::default();
+        s.note(AccessKind::Read, 4096, SimDuration::from_millis(2));
+        s.note_queue_wait(SimDuration::from_millis(5));
+        s.note_queue_wait(SimDuration::from_millis(1));
+        assert_eq!(s.busy, SimDuration::from_millis(2));
+        assert_eq!(s.queue_wait, SimDuration::from_millis(6));
+    }
+
+    #[test]
+    fn merge_sums_queue_wait() {
+        let mut a = DeviceStats::default();
+        a.note(AccessKind::Write, 100, SimDuration::from_millis(1));
+        a.note_queue_wait(SimDuration::from_millis(2));
+        let mut b = DeviceStats::default();
+        b.note(AccessKind::Read, 200, SimDuration::from_millis(3));
+        b.note_queue_wait(SimDuration::from_millis(4));
+        a.merge(&b);
+        assert_eq!(a.busy, SimDuration::from_millis(4));
+        assert_eq!(a.queue_wait, SimDuration::from_millis(6));
+        assert_eq!(a.total_bytes(), 300);
+    }
+
+    #[test]
+    fn clamp_extent_passes_in_range_requests_through() {
+        assert_eq!(clamp_extent("d", 0, 4096, 8192), (0, 4096));
+        assert_eq!(clamp_extent("d", 4096, 4096, 8192), (4096, 4096));
+        assert_eq!(clamp_extent("d", 8192, 0, 8192), (8192, 0));
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "exceeds device capacity"))]
+    fn clamp_extent_saturates_overruns() {
+        // Debug builds assert (the workload is buggy); release builds
+        // truncate to the device tail.
+        assert_eq!(clamp_extent("d", 6000, 4096, 8192), (6000, 2192));
+        assert_eq!(clamp_extent("d", 10_000, 4096, 8192), (8192, 0));
     }
 }

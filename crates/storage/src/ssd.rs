@@ -11,7 +11,7 @@
 //! process requesting the I/O, because the data is retrieved quickly" —
 //! hence [`BlockDevice::suspends_process`] is `false` for the SSD.
 
-use crate::device::{AccessKind, BlockDevice, DeviceStats};
+use crate::device::{clamp_extent, AccessKind, BlockDevice, DeviceStats};
 use serde::{Deserialize, Serialize};
 use sim_core::units::GB;
 use sim_core::{SimDuration, SimTime};
@@ -89,9 +89,10 @@ impl BlockDevice for SsdModel {
         &mut self,
         _now: SimTime,
         kind: AccessKind,
-        _offset: u64,
+        offset: u64,
         length: u64,
     ) -> SimDuration {
+        let (_offset, length) = clamp_extent(&self.name, offset, length, self.params.capacity);
         let service = self.params.setup + self.transfer_time(length);
         self.stats.note(kind, length, service);
         service
@@ -156,5 +157,15 @@ mod tests {
         s.access(SimTime::ZERO, AccessKind::Write, 0, 1024);
         assert_eq!(s.stats().writes, 1);
         assert_eq!(s.stats().bytes_written, 1024);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "exceeds device capacity"))]
+    fn out_of_range_access_is_clamped() {
+        let mut s = SsdModel::ymp();
+        let cap = s.capacity();
+        s.access(SimTime::ZERO, AccessKind::Read, cap - 512, 2048);
+        // Debug builds assert; release builds truncate to the device tail.
+        assert_eq!(s.stats().bytes_read, 512);
     }
 }

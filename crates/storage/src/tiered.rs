@@ -1,0 +1,393 @@
+//! A multi-tier storage hierarchy: RAM cache → NVMe → disk → tape.
+//!
+//! §2.2 describes exactly this shape at NASA Ames — main memory, the
+//! SSD, striped DD-40 disks, and the Mass Storage System's nearline
+//! tape — but the paper's simulations only ever exercise one device at
+//! a time. This model composes the queue-aware devices into one
+//! [`BlockDevice`] with inclusive staging:
+//!
+//! - Residency is tracked per fixed-size *segment*. A read is charged to
+//!   the deepest tier holding any of its segments (the stage-in is the
+//!   bottleneck), then every touched segment is promoted into all
+//!   faster tiers.
+//! - Writes are burst-buffer style: absorbed by the flash staging tier
+//!   and considered durable there (drain to the capacity tiers is
+//!   back-pressure-free in this model), so a write costs an NVMe access.
+//! - RAM and flash have bounded capacity; staging evicts FIFO. Tape is
+//!   the capacity tier and backs everything, so a segment no faster
+//!   tier remembers is a tape access — mount, wind, and all.
+//!
+//! Eviction is demotion-free (the inclusive hierarchy means the slower
+//! copy already exists), so evictions only bump the demotion counter.
+
+use crate::device::{clamp_extent, AccessKind, BlockDevice, DeviceStats};
+use crate::disk::{DiskModel, DiskParams};
+use crate::nvme::{NvmeModel, NvmeParams};
+use crate::tape::{TapeModel, TapeParams};
+use serde::{Deserialize, Serialize};
+use sim_core::units::{GB, MB};
+use sim_core::{SimDuration, SimTime};
+use std::collections::{HashSet, VecDeque};
+
+/// Tunable hierarchy parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TieredParams {
+    /// Residency-tracking granule in bytes.
+    pub segment: u64,
+    /// RAM cache capacity in bytes.
+    pub ram_capacity: u64,
+    /// RAM streaming bandwidth in GB/s.
+    pub ram_gb_per_sec: f64,
+    /// Disk-tier segment budget in bytes (how much of the disk the
+    /// stager uses for recently-staged data).
+    pub disk_stage_capacity: u64,
+    /// The flash staging tier.
+    pub ssd: NvmeParams,
+    /// The capacity disk tier.
+    pub disk: DiskParams,
+    /// The archive tier; also defines the hierarchy's total capacity.
+    pub tape: TapeParams,
+}
+
+impl Default for TieredParams {
+    fn default() -> Self {
+        Self::modern_2026()
+    }
+}
+
+impl TieredParams {
+    /// A 2026 burst-buffer hierarchy: 64 GB of RAM cache over a 2 TB
+    /// NVMe stager over a 20 TB nearline disk over an 18 TB LTO
+    /// cartridge.
+    pub fn modern_2026() -> Self {
+        TieredParams {
+            segment: MB,
+            ram_capacity: 64 * GB,
+            ram_gb_per_sec: 100.0,
+            disk_stage_capacity: 4 * 1024 * GB,
+            ssd: NvmeParams::modern_2026(),
+            disk: DiskParams::modern_2026(),
+            tape: TapeParams::lto_2026(),
+        }
+    }
+}
+
+/// One tier's residency set: bounded, FIFO-evicting, membership-only.
+/// (The `HashSet` is never iterated, so its nondeterministic order
+/// cannot leak into simulation results.)
+#[derive(Debug, Clone)]
+struct TierSet {
+    cap_segments: u64,
+    fifo: VecDeque<u64>,
+    set: HashSet<u64>,
+}
+
+impl TierSet {
+    fn new(cap_segments: u64) -> Self {
+        TierSet { cap_segments, fifo: VecDeque::new(), set: HashSet::new() }
+    }
+
+    fn contains(&self, seg: u64) -> bool {
+        self.set.contains(&seg)
+    }
+
+    /// Insert a segment; returns the number of evictions that made room.
+    fn insert(&mut self, seg: u64) -> u64 {
+        if !self.set.insert(seg) {
+            return 0;
+        }
+        self.fifo.push_back(seg);
+        let mut evicted = 0;
+        while self.fifo.len() as u64 > self.cap_segments.max(1) {
+            if let Some(old) = self.fifo.pop_front() {
+                self.set.remove(&old);
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+}
+
+/// The composed hierarchy.
+#[derive(Debug, Clone)]
+pub struct TieredDevice {
+    params: TieredParams,
+    name: String,
+    stats: DeviceStats,
+    ssd: NvmeModel,
+    disk: DiskModel,
+    tape: TapeModel,
+    /// Residency sets for the ram / ssd / disk tiers (tape backs all).
+    tiers: [TierSet; 3],
+    promotions: u64,
+    demotions: u64,
+    /// Reads served per tier: [ram, ssd, disk, tape]; writes count as
+    /// ssd (staging) hits.
+    tier_hits: [u64; 4],
+}
+
+impl TieredDevice {
+    /// A hierarchy with the given parameters.
+    pub fn new(name: impl Into<String>, params: TieredParams) -> Self {
+        let seg = params.segment.max(1);
+        let tiers = [
+            TierSet::new(params.ram_capacity / seg),
+            TierSet::new(params.ssd.capacity / seg),
+            TierSet::new(params.disk_stage_capacity / seg),
+        ];
+        TieredDevice {
+            ssd: NvmeModel::new("tier-ssd", params.ssd.clone()),
+            disk: DiskModel::new("tier-disk", params.disk.clone()),
+            tape: TapeModel::new("tier-tape", params.tape.clone()),
+            params,
+            name: name.into(),
+            stats: DeviceStats::default(),
+            tiers,
+            promotions: 0,
+            demotions: 0,
+            tier_hits: [0; 4],
+        }
+    }
+
+    /// The 2026 burst-buffer hierarchy.
+    pub fn modern() -> Self {
+        TieredDevice::new("tiered", TieredParams::modern_2026())
+    }
+
+    /// Parameters in use.
+    pub fn params(&self) -> &TieredParams {
+        &self.params
+    }
+
+    /// Reads served per tier: `[ram, ssd, disk, tape]`.
+    pub fn tier_hits(&self) -> [u64; 4] {
+        self.tier_hits
+    }
+
+    /// Segments promoted into a faster tier.
+    pub fn promotions(&self) -> u64 {
+        self.promotions
+    }
+
+    /// Segments evicted from a bounded tier to make room.
+    pub fn demotions(&self) -> u64 {
+        self.demotions
+    }
+
+    /// RAM streaming time for `length` bytes.
+    fn ram_time(&self, length: u64) -> SimDuration {
+        let secs = length as f64 / (self.params.ram_gb_per_sec * GB as f64);
+        SimDuration::from_secs_f64(secs)
+    }
+
+    /// The segments a `[offset, offset+length)` extent touches.
+    fn segments(&self, offset: u64, length: u64) -> std::ops::RangeInclusive<u64> {
+        let seg = self.params.segment.max(1);
+        let first = offset / seg;
+        let last = offset.saturating_add(length.saturating_sub(1)) / seg;
+        first..=last
+    }
+
+    /// The slowest tier any touched segment lives in: 0 = ram, 1 = ssd,
+    /// 2 = disk, 3 = tape.
+    fn residency_level(&self, offset: u64, length: u64) -> usize {
+        let mut level = 0;
+        for seg in self.segments(offset, length) {
+            let l = if self.tiers[0].contains(seg) {
+                0
+            } else if self.tiers[1].contains(seg) {
+                1
+            } else if self.tiers[2].contains(seg) {
+                2
+            } else {
+                3
+            };
+            level = level.max(l);
+        }
+        level
+    }
+
+    /// Promote every touched segment into tiers `0..upto` (inclusive
+    /// staging into all faster tiers).
+    fn promote(&mut self, offset: u64, length: u64, upto: usize) {
+        for seg in self.segments(offset, length) {
+            for tier in self.tiers.iter_mut().take(upto) {
+                if !tier.contains(seg) {
+                    self.promotions += 1;
+                    self.demotions += tier.insert(seg);
+                }
+            }
+        }
+    }
+
+    /// Wrap an archive-address extent into a smaller inner device.
+    fn wrap(offset: u64, length: u64, capacity: u64) -> u64 {
+        offset % capacity.saturating_sub(length).max(1)
+    }
+
+    /// Observability counters: the inner queueing devices' histograms
+    /// plus the tier traffic split.
+    pub fn obs_counters(&self) -> obs::DiskCounters {
+        let mut c = self.disk.obs_counters();
+        c.merge(&self.ssd.obs_counters());
+        c.tier_promotions = self.promotions;
+        c.tier_demotions = self.demotions;
+        c.tier_hits = self.tier_hits.to_vec();
+        c
+    }
+}
+
+impl BlockDevice for TieredDevice {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn capacity(&self) -> u64 {
+        self.params.tape.capacity
+    }
+
+    fn access(
+        &mut self,
+        now: SimTime,
+        kind: AccessKind,
+        offset: u64,
+        length: u64,
+    ) -> SimDuration {
+        let (offset, length) =
+            clamp_extent(&self.name, offset, length, self.params.tape.capacity);
+        // Inner queue wait must not be double-counted into this device's
+        // busy time: snapshot before, delta after.
+        let wait_before =
+            self.ssd.stats().queue_wait + self.disk.stats().queue_wait;
+        let latency = match kind {
+            AccessKind::Write => {
+                // Burst-buffer write: absorbed by the flash stager, then
+                // resident in ram + ssd.
+                self.tier_hits[1] += 1;
+                let o = Self::wrap(offset, length, self.ssd.capacity());
+                let t = self.ssd.access(now, kind, o, length);
+                self.promote(offset, length, 2);
+                t
+            }
+            AccessKind::Read => {
+                let level = self.residency_level(offset, length);
+                self.tier_hits[level] += 1;
+                let t = match level {
+                    0 => self.ram_time(length),
+                    1 => {
+                        let o = Self::wrap(offset, length, self.ssd.capacity());
+                        self.ssd.access(now, kind, o, length)
+                    }
+                    2 => {
+                        let o = Self::wrap(offset, length, self.disk.capacity());
+                        self.disk.access(now, kind, o, length)
+                    }
+                    _ => self.tape.access(now, kind, offset, length),
+                };
+                self.promote(offset, length, level.min(3));
+                t
+            }
+        };
+        let wait =
+            (self.ssd.stats().queue_wait + self.disk.stats().queue_wait)
+                .saturating_sub(wait_before);
+        self.stats.note(kind, length, latency.saturating_sub(wait));
+        self.stats.note_queue_wait(wait);
+        latency
+    }
+
+    fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hierarchy() -> TieredDevice {
+        TieredDevice::modern()
+    }
+
+    #[test]
+    fn cold_read_pays_tape_mount() {
+        let mut h = hierarchy();
+        let cold = h.access(SimTime::ZERO, AccessKind::Read, 0, MB);
+        assert!(cold >= h.params().tape.mount, "cold read {cold} should mount tape");
+        assert_eq!(h.tier_hits(), [0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn reread_hits_ram() {
+        let mut h = hierarchy();
+        let cold = h.access(SimTime::ZERO, AccessKind::Read, 0, MB);
+        let warm = h.access(SimTime::from_secs(100), AccessKind::Read, 0, MB);
+        assert!(warm < cold, "warm {warm} vs cold {cold}");
+        assert!(warm <= SimDuration::from_millis(1), "ram read {warm}");
+        assert_eq!(h.tier_hits(), [1, 0, 0, 1]);
+        assert!(h.promotions() > 0);
+    }
+
+    #[test]
+    fn writes_land_in_flash_stager() {
+        let mut h = hierarchy();
+        let w = h.access(SimTime::ZERO, AccessKind::Write, 10 * GB, MB);
+        // Far cheaper than tape, charged as an NVMe access.
+        assert!(w < SimDuration::from_millis(10), "write {w}");
+        assert_eq!(h.tier_hits(), [0, 1, 0, 0]);
+        // The written range is now readable from ram.
+        let r = h.access(SimTime::from_secs(1), AccessKind::Read, 10 * GB, MB);
+        assert!(r <= SimDuration::from_millis(1), "read-after-write {r}");
+    }
+
+    #[test]
+    fn ram_eviction_falls_back_to_flash() {
+        // Tiny RAM: 4 segments. Write 8 distinct segments, then re-read
+        // the first — it fell out of ram but still lives in flash.
+        let mut params = TieredParams::modern_2026();
+        params.ram_capacity = 4 * params.segment;
+        let mut h = TieredDevice::new("t", params);
+        for i in 0..8u64 {
+            h.access(SimTime::ZERO, AccessKind::Write, i * h.params().segment, 1024);
+        }
+        assert!(h.demotions() > 0, "bounded ram must have evicted");
+        h.access(SimTime::from_secs(1), AccessKind::Read, 0, 1024);
+        assert_eq!(h.tier_hits()[1], 8 + 1, "first segment re-read from flash");
+    }
+
+    #[test]
+    fn busy_excludes_inner_queue_wait() {
+        // 32 simultaneous 1 MB writes serialize on the NVMe bandwidth:
+        // their bus wait must land in queue_wait, with busy + queue_wait
+        // adding back up to the summed latencies.
+        let mut h = hierarchy();
+        let mut total = SimDuration::ZERO;
+        for i in 0..32u64 {
+            let o = i * h.params().segment;
+            total += h.access(SimTime::ZERO, AccessKind::Write, o, h.params().segment);
+        }
+        assert_eq!(h.stats().busy + h.stats().queue_wait, total);
+        assert!(h.stats().queue_wait > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn obs_counters_carry_tier_traffic() {
+        let mut h = hierarchy();
+        h.access(SimTime::ZERO, AccessKind::Read, 0, MB);
+        h.access(SimTime::from_secs(100), AccessKind::Read, 0, MB);
+        h.access(SimTime::from_secs(100), AccessKind::Write, GB, MB);
+        let c = h.obs_counters();
+        assert_eq!(c.tier_hits, vec![1, 1, 0, 1]);
+        assert_eq!(c.tier_promotions, h.promotions());
+        assert!(c.queue_depth.is_some(), "inner queueing devices report depth");
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "exceeds device capacity"))]
+    fn out_of_range_access_is_clamped() {
+        let mut h = hierarchy();
+        let cap = h.capacity();
+        h.access(SimTime::ZERO, AccessKind::Read, cap - 100, 1024);
+        assert_eq!(h.stats().bytes_read, 100);
+    }
+}
