@@ -13,7 +13,14 @@
 //! decode, the latter gated at >= 2M events/s), and the streamed
 //! 100x100 campaign replayed from spilled frame files under a 64 MB
 //! trace budget (its peak residency lands in the report as
-//! `peak_trace_bytes`, gated at <= the budget), then writes
+//! `peak_trace_bytes`, gated at <= the budget), and the
+//! `serve_sustained_rps` serving scenario — a closed-loop mixed
+//! campaign (every fig8 grid point plus two sharded campaign points,
+//! each duplicated `MILLER_SERVE_DUP` times, default 3, and shuffled)
+//! driven by 4 concurrent clients against a warm `serve::Engine`,
+//! gated at >= 2x the cold spawn-per-request baseline and at
+//! byte-identical responses vs one-shot runs at worker counts 1 and 4 —
+//! then writes
 //! `BENCH_sim.json` with wall seconds and an events-per-second rate for
 //! each sweep. "Events" are simulated I/O requests for the simulator
 //! sweeps, generated trace records for the generation bench, codec
@@ -65,6 +72,8 @@ use miller_core::{
     SimDuration, SimReport, SimTime, StoreConfig, TraceStore,
 };
 use serde::{Deserialize, Serialize};
+use serve::engine::execute;
+use serve::{CampaignPointSpec, Engine, EngineConfig, Fig8PointSpec, RequestBody};
 use sim_core::EventQueue;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
@@ -107,6 +116,12 @@ const TRACE_BUDGET: usize = 64 * MB as usize;
 /// outrun the simulator's own event rate for spilling to stay off the
 /// critical path.
 const DECODE_FLOOR: f64 = 2_000_000.0;
+
+/// Minimum `serve_sustained_rps` over the cold spawn-per-request
+/// baseline: warm-store reuse plus coalescing/caching of the duplicated
+/// stream must at least double throughput, or the daemon isn't paying
+/// for its existence.
+const SERVE_SPEEDUP_FLOOR: f64 = 2.0;
 
 /// Counts heap allocations so `alloc_per_event` can be measured in-process.
 struct CountingAlloc;
@@ -163,6 +178,26 @@ struct ObsBenchSummary {
     on_overhead_pct: f64,
 }
 
+/// What `mio serve`'s engine delivered under the closed-loop mixed
+/// campaign, versus the cold spawn-per-request baseline.
+#[derive(Debug, Serialize, Deserialize)]
+struct ServeBenchSummary {
+    /// Requests per second through the warm engine (dedup + coalescing
+    /// + warm store), closed-loop from 4 concurrent clients.
+    warm_rps: f64,
+    /// Requests per second when every request pays a fresh store — the
+    /// one-shot spawn-per-request world, at the same parallelism.
+    cold_rps: f64,
+    /// `warm_rps / cold_rps`; gated at >= 2x.
+    speedup: f64,
+    /// How many times each distinct request appears in the stream
+    /// (`MILLER_SERVE_DUP`, default 3).
+    duplicate_ratio: usize,
+    /// Whether every served response was byte-identical to its one-shot
+    /// run at worker counts 1 and 4. Gated: must be true.
+    responses_identical: bool,
+}
+
 /// The whole `BENCH_sim.json` document.
 #[derive(Debug, Serialize, Deserialize)]
 struct BenchReport {
@@ -184,6 +219,9 @@ struct BenchReport {
     /// gated absolutely at the 64 MB budget. Absent in pre-streaming
     /// reports.
     peak_trace_bytes: Option<u64>,
+    /// `mio serve` sustained-throughput summary. Absent in pre-serving
+    /// reports.
+    serve: Option<ServeBenchSummary>,
     /// Per-sweep timings.
     sweeps: Vec<SweepTiming>,
 }
@@ -522,6 +560,157 @@ fn measure_streamed_campaign(scale: Scale) -> (SweepTiming, u64) {
     (timing, peak)
 }
 
+/// The mixed request campaign the serving benches drive: every Figure 8
+/// grid point (which subsumes the fig6/fig7 32 MB and 128 MB points)
+/// plus two sharded campaign points, at the bench scale.
+fn serve_request_pool(scale: Scale, seed: u64) -> Vec<RequestBody> {
+    let mut pool: Vec<RequestBody> = fig8_jobs()
+        .iter()
+        .map(|&(mb, block)| {
+            RequestBody::Fig8Point(Fig8PointSpec { cache_mb: mb, block, scale: scale.0, seed })
+        })
+        .collect();
+    // Campaign traces shrink with the bench divisor, like shard_scale_10k.
+    let campaign_scale = scale.0.saturating_mul(32).max(1);
+    for (groups, procs) in [(8usize, 8usize), (8, 16)] {
+        let mut c = CampaignPointSpec::datacenter(groups, procs, 4);
+        c.scale = campaign_scale;
+        c.seed = seed;
+        pool.push(RequestBody::Campaign(c));
+    }
+    pool
+}
+
+/// `dup` copies of every pool index, deterministically shuffled
+/// (xorshift Fisher-Yates) so duplicates arrive interleaved across the
+/// stream rather than back-to-back.
+fn shuffled_stream(pool_len: usize, dup: usize) -> Vec<usize> {
+    let mut stream: Vec<usize> =
+        (0..pool_len).flat_map(|i| std::iter::repeat_n(i, dup)).collect();
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    for i in (1..stream.len()).rev() {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        stream.swap(i, (x % (i as u64 + 1)) as usize);
+    }
+    stream
+}
+
+/// Closed-loop drive: 4 concurrent clients deal the stream round-robin,
+/// each submitting its next request only after the previous one
+/// resolved. Returns every response with its pool index.
+fn drive_engine(
+    engine: &Engine,
+    pool: &[RequestBody],
+    stream: &[usize],
+) -> Vec<(usize, std::sync::Arc<serde::Value>)> {
+    const CLIENTS: usize = 4;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                scope.spawn(move || {
+                    let client = format!("client{c}");
+                    stream
+                        .iter()
+                        .copied()
+                        .skip(c)
+                        .step_by(CLIENTS)
+                        .map(|i| {
+                            let ticket =
+                                engine.submit(&client, &pool[i]).expect("within max_inflight");
+                            (i, ticket.wait().expect("engine running"))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
+    })
+}
+
+/// The `serve_sustained_rps` scenario: the closed-loop mixed campaign
+/// against a warm serving engine versus the cold spawn-per-request
+/// baseline (fresh trace store per request, same parallelism, no
+/// dedup/cache), plus the response-identity check at worker counts
+/// {1, 4}. Events are *requests*, so `events_per_sec` is RPS and the
+/// warm/cold rate ratio is the amortization speedup `main` gates at 2x.
+fn measure_serve(scale: Scale, seed: u64) -> (SweepTiming, SweepTiming, ServeBenchSummary) {
+    let pool = serve_request_pool(scale, seed);
+    let dup = std::env::var("MILLER_SERVE_DUP")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&d| d >= 1)
+        .unwrap_or(3);
+    let stream = shuffled_stream(pool.len(), dup);
+    let engine_config = |workers: usize| EngineConfig {
+        workers,
+        max_inflight: 256,
+        result_cache: 512,
+        store: StoreConfig::default(),
+    };
+
+    // Determinism first: every served response — computed, coalesced,
+    // or cached — must match its sequential one-shot bytes, at 1 worker
+    // and at 4.
+    let one_shot: Vec<String> = pool
+        .iter()
+        .map(|body| {
+            let store = TraceStore::new();
+            serde_json::to_string_pretty(&execute(&store, body)).expect("report serializes")
+        })
+        .collect();
+    let mut responses_identical = true;
+    for workers in [1usize, 4] {
+        let engine = Engine::new(engine_config(workers));
+        for (i, value) in drive_engine(&engine, &pool, &stream) {
+            let text = serde_json::to_string_pretty(value.as_ref()).expect("report serializes");
+            if text != one_shot[i] {
+                responses_identical = false;
+                eprintln!(
+                    "serve: response diverged from its one-shot run at {workers} worker(s): {:?}",
+                    pool[i]
+                );
+            }
+        }
+    }
+
+    // Warm sustained throughput: a fresh engine at the harness thread
+    // count, timed end to end — the first requests pay trace generation
+    // exactly once, duplicates coalesce or hit the result cache.
+    let engine = Engine::new(engine_config(thread_count()));
+    let warm = timed("serve_sustained_rps", || {
+        drive_engine(&engine, &pool, &stream);
+        stream.len() as u64
+    });
+    drop(engine);
+
+    // Cold baseline: the same stream at the same parallelism, but every
+    // request spawns its own store and recomputes — the one-shot world
+    // the daemon replaces.
+    let cold = timed("serve_cold_spawn_per_request", || {
+        let ones = par_sweep(&stream, |&i| {
+            let store = TraceStore::new();
+            std::hint::black_box(execute(&store, &pool[i]));
+            1u64
+        });
+        ones.iter().sum()
+    });
+
+    let summary = ServeBenchSummary {
+        warm_rps: warm.events_per_sec,
+        cold_rps: cold.events_per_sec,
+        speedup: if cold.events_per_sec > 0.0 {
+            warm.events_per_sec / cold.events_per_sec
+        } else {
+            0.0
+        },
+        duplicate_ratio: dup,
+        responses_identical,
+    };
+    (warm, cold, summary)
+}
+
 /// Marginal heap allocations per simulated I/O, by differencing: two
 /// single-point fig8 runs, identical except trace length (a 4× scale
 /// gap), against a pre-warmed private store. Setup allocations are the
@@ -679,6 +868,11 @@ fn main() -> ExitCode {
     let mut sweeps = run_benches(scale, seed);
     let (streamed_campaign, peak_trace_bytes) = measure_streamed_campaign(scale);
     sweeps.push(streamed_campaign);
+    let (serve_warm, serve_cold, serve_summary) = measure_serve(scale, seed);
+    let serve_speedup = serve_summary.speedup;
+    let serve_identical = serve_summary.responses_identical;
+    sweeps.push(serve_warm);
+    sweeps.push(serve_cold);
     let alloc_per_event = measure_alloc_per_event(scale, seed, false);
     let alloc_per_event_obs = measure_alloc_per_event(scale, seed, true);
 
@@ -708,6 +902,7 @@ fn main() -> ExitCode {
         alloc_per_event_obs: Some(alloc_per_event_obs),
         obs: Some(obs_summary),
         peak_trace_bytes: Some(peak_trace_bytes),
+        serve: Some(serve_summary),
         sweeps,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -797,6 +992,31 @@ fn main() -> ExitCode {
         failed = true;
     } else {
         eprintln!("trace_codec_churn {decode_rate:.0} events/s (floor {DECODE_FLOOR:.0})");
+    }
+
+    // The serving gates. Identity is absolute — a daemon that answers
+    // different bytes than the one-shot binary is wrong, full stop.
+    // Throughput: with a warm trace store plus coalescing/caching of a
+    // 3x-duplicated stream, the daemon must clear 2x the cold
+    // spawn-per-request baseline, which regenerates traces per request
+    // at the same parallelism.
+    if !serve_identical {
+        eprintln!(
+            "FAIL: serve responses diverged from one-shot runs — see messages above"
+        );
+        failed = true;
+    }
+    if serve_speedup < SERVE_SPEEDUP_FLOOR {
+        eprintln!(
+            "FAIL: serve_sustained_rps {serve_speedup:.2}x over cold spawn-per-request \
+             (gate: >= {SERVE_SPEEDUP_FLOOR}x)"
+        );
+        failed = true;
+    } else {
+        eprintln!(
+            "serve_sustained_rps: {serve_speedup:.2}x over cold spawn-per-request \
+             (gate: >= {SERVE_SPEEDUP_FLOOR}x), responses identical: {serve_identical}"
+        );
     }
 
     if let Some(base) = base {

@@ -12,7 +12,9 @@
 //!
 //! `--fig8-point MB:BLOCK` runs a single Figure 8 sweep point (e.g.
 //! `32:4096` = 32 MB cache, 4 KiB blocks) instead of the full set —
-//! the cheap way to capture a sample trace in CI.
+//! the cheap way to capture a sample trace in CI; `--json PATH` writes
+//! its [`iosim::SimReport`] (the `mio serve` determinism guard `cmp`s
+//! served responses against exactly this output).
 //!
 //! `--campaign GROUPSxPROCS` runs a cluster-scale sharded campaign
 //! instead (e.g. `1000x10` = 1000 groups of 10 processes) on
@@ -176,6 +178,12 @@ fn main() {
             r.obs.disks.seeks,
             r.obs.disks.sequential_accesses,
         );
+        if let Some(j) = args.iter().position(|a| a == "--json") {
+            let path = args.get(j + 1).expect("--json needs a path");
+            std::fs::write(path, serde_json::to_string_pretty(&r).expect("serialize"))
+                .expect("write json");
+            eprintln!("wrote {path}");
+        }
         if let Some(path) = &profile {
             obs::finish_profile(path);
         }

@@ -32,7 +32,7 @@ use workload::{AppKind, ALL_APPS};
 
 /// Shape of one campaign: how many groups, what runs in each, and how
 /// the cluster-level knobs (cache budget, admission cap, epoch) are set.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct CampaignSpec {
     /// Node groups (each its own simulator instance).
     pub groups: usize,

@@ -11,7 +11,7 @@ use workload::{AppKind, AppSpec};
 /// lengths; `Scale::quick(k)` divides cycle counts and CPU time by `k`
 /// while preserving every *rate* and *pattern*, so shapes survive but
 /// tests run fast.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct Scale(pub u32);
 
 impl Scale {

@@ -91,16 +91,19 @@ pub fn finish_profile(path: &str) {
                 s.events, s.tracks
             );
             let rec = summary();
-            if s.dropped > rec.recorded {
-                // More than half of everything emitted fell on the floor:
+            let total = s.dropped + rec.recorded;
+            if total > 0 && s.dropped * 10 > total {
+                // More than 10% of everything emitted fell on the floor:
                 // the trace is a fragment, not a timeline. Make the loss
-                // impossible to miss.
+                // impossible to miss (see EXPERIMENTS.md "Sizing the
+                // flight recorder" for capacity guidance).
                 eprintln!(
-                    "profile: WARNING: dropped {} of {} events (>50%) — trace covers only the \
+                    "profile: WARNING: dropped {} of {} events ({:.0}%) — trace covers only the \
                      run's start; rerun with --profile-capacity {} or more",
                     s.dropped,
-                    s.dropped + rec.recorded,
-                    (s.dropped + rec.recorded).next_power_of_two()
+                    total,
+                    s.dropped as f64 * 100.0 / total as f64,
+                    total.next_power_of_two()
                 );
             }
         }

@@ -7,9 +7,18 @@
 //! mio translate venus.trace [-o phys.trace]  logical -> physical expansion
 //! mio simulate a.trace b.trace [--cache 128|ssd|none]
 //!              [--policy behind|through|sprite] [--no-readahead] [--cpus 1]
+//! mio serve --socket mio.sock [--workers N] ...    simulation-as-a-service
+//! mio submit --socket mio.sock --fig8-point 32:4096 [--json out.json]
 //! ```
 //!
 //! Traces are the paper's compressed ASCII format; `-` means stdout.
+//!
+//! `serve` turns the one-shot repro workloads into a long-running
+//! daemon (JSON lines over a Unix or TCP socket) with a warm trace
+//! store, request dedup/coalescing, and fair queueing; `submit` is the
+//! matching client. A served response is byte-identical to the
+//! corresponding one-shot `repro-sim --json` output at any worker
+//! count — CI `cmp`s them.
 
 use miller_core::{
     analyze_sequentiality, classify_trace, detect_cycles, measure_amplification,
@@ -44,6 +53,8 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("translate") => cmd_translate(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`")),
     }
 }
@@ -58,6 +69,13 @@ USAGE:
   mio translate <FILE> [-o FILE]
   mio simulate <FILE>... [--cache MB|ssd|none] [--policy behind|through|sprite]
                [--no-readahead] [--cpus N]
+  mio serve  (--socket PATH | --tcp ADDR) [--workers N] [--max-inflight N]
+             [--cache-cap N] [--drain-timeout SECS] [--threads N] [--shards N]
+             [--trace-dir DIR] [--trace-mem-budget MB] [--profile PATH] [--progress]
+  mio submit (--socket PATH | --tcp ADDR)
+             (--fig8-point MB:BLOCK [--quick] | --campaign GxP [--shards N]
+              | --stats | --shutdown)
+             [--scale K] [--seed N] [--client NAME] [--json FILE]
 ";
 
 /// Pull the value following `flag` out of `args`, if present.
@@ -280,6 +298,157 @@ fn cmd_simulate(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse the `--socket`/`--tcp` pair shared by `serve` and `submit`.
+fn take_endpoint(args: &mut Vec<String>) -> Result<serve::Endpoint, String> {
+    let socket = take_flag(args, "--socket")?;
+    let tcp = take_flag(args, "--tcp")?;
+    match (socket, tcp) {
+        (Some(_), Some(_)) => Err("--socket and --tcp are mutually exclusive".into()),
+        (Some(p), None) => Ok(serve::Endpoint::Unix(p.into())),
+        (None, Some(a)) => Ok(serve::Endpoint::Tcp(a)),
+        (None, None) => Err("need --socket PATH or --tcp ADDR".into()),
+    }
+}
+
+fn parse_count(v: Option<String>, flag: &str, default: usize) -> Result<usize, String> {
+    v.map(|s| s.parse::<usize>().map_err(|_| format!("bad {flag}")))
+        .transpose()
+        .map(|n| n.unwrap_or(default))
+}
+
+fn cmd_serve(rest: &[String]) -> Result<(), String> {
+    let mut args = rest.to_vec();
+    // Standard repro flags first: --threads/--shards/--trace-dir/
+    // --trace-mem-budget/--progress/--profile[-capacity] all apply to
+    // the daemon exactly as they do to the one-shot binaries.
+    let profile = experiments::apply_standard_flags(&mut args)?;
+    let endpoint = take_endpoint(&mut args).map_err(|e| format!("serve: {e}"))?;
+    let workers =
+        parse_count(take_flag(&mut args, "--workers")?, "--workers", experiments::thread_count())?;
+    let max_inflight = parse_count(take_flag(&mut args, "--max-inflight")?, "--max-inflight", 256)?;
+    let cache_cap = parse_count(take_flag(&mut args, "--cache-cap")?, "--cache-cap", 512)?;
+    let drain_secs = parse_count(take_flag(&mut args, "--drain-timeout")?, "--drain-timeout", 30)?;
+    if let Some(stray) = args.first() {
+        return Err(format!("serve: unexpected argument `{stray}`"));
+    }
+    if workers == 0 {
+        return Err("serve: --workers must be at least 1".into());
+    }
+    serve::serve(&serve::ServeOptions {
+        endpoint,
+        engine: serve::EngineConfig {
+            workers,
+            max_inflight,
+            result_cache: cache_cap,
+            store: experiments::StoreConfig::from_env(),
+        },
+        drain_timeout: std::time::Duration::from_secs(drain_secs as u64),
+    })?;
+    // Part of graceful shutdown: the flight recorder flushes after the
+    // drain, so a SIGINT'd daemon still leaves a complete timeline.
+    if let Some(path) = &profile {
+        obs::finish_profile(path);
+    }
+    Ok(())
+}
+
+/// Build the request body from the `submit` flags. `--quick` mirrors
+/// `repro-sim --quick` (scale 8); campaign scale defaults to 16 like
+/// `CampaignSpec::datacenter`, so served responses line up with the
+/// one-shot binary byte for byte.
+fn submit_body(args: &mut Vec<String>) -> Result<serve::RequestBody, String> {
+    let quick = take_switch(args, "--quick");
+    let scale = take_flag(args, "--scale")?
+        .map(|v| v.parse::<u32>().map_err(|_| "bad --scale".to_string()))
+        .transpose()?;
+    let seed = take_flag(args, "--seed")?
+        .map(|v| v.parse::<u64>().map_err(|_| "bad --seed".to_string()))
+        .transpose()?
+        .unwrap_or(42);
+    let shards = parse_count(take_flag(args, "--shards")?, "--shards", 1)?;
+    let fig8 = take_flag(args, "--fig8-point")?;
+    let campaign = take_flag(args, "--campaign")?;
+    let stats = take_switch(args, "--stats");
+    let shutdown = take_switch(args, "--shutdown");
+    let chosen =
+        [fig8.is_some(), campaign.is_some(), stats, shutdown].iter().filter(|b| **b).count();
+    if chosen != 1 {
+        return Err(
+            "submit needs exactly one of --fig8-point, --campaign, --stats, --shutdown".into()
+        );
+    }
+    if let Some(raw) = fig8 {
+        let (mb, block) = raw
+            .split_once(':')
+            .ok_or_else(|| format!("--fig8-point wants MB:BLOCK, got `{raw}`"))?;
+        let cache_mb: u64 = mb.trim().parse().map_err(|_| "bad --fig8-point cache MB")?;
+        let block: u64 = block.trim().parse().map_err(|_| "bad --fig8-point block size")?;
+        return Ok(serve::RequestBody::Fig8Point(serve::Fig8PointSpec {
+            cache_mb,
+            block,
+            scale: scale.unwrap_or(if quick { 8 } else { 1 }),
+            seed,
+        }));
+    }
+    if let Some(raw) = campaign {
+        let (groups, procs) = raw
+            .split_once(['x', 'X'])
+            .ok_or_else(|| format!("--campaign wants GROUPSxPROCS, got `{raw}`"))?;
+        let groups: usize = groups.trim().parse().map_err(|_| "bad --campaign group count")?;
+        let procs: usize = procs.trim().parse().map_err(|_| "bad --campaign process count")?;
+        let mut spec = serve::CampaignPointSpec::datacenter(groups, procs, shards);
+        if let Some(k) = scale {
+            spec.scale = k;
+        }
+        spec.seed = seed;
+        return Ok(serve::RequestBody::Campaign(spec));
+    }
+    if stats {
+        return Ok(serve::RequestBody::Stats);
+    }
+    Ok(serve::RequestBody::Shutdown)
+}
+
+fn cmd_submit(rest: &[String]) -> Result<(), String> {
+    let mut args = rest.to_vec();
+    let endpoint = take_endpoint(&mut args).map_err(|e| format!("submit: {e}"))?;
+    let json = take_flag(&mut args, "--json")?;
+    let client = take_flag(&mut args, "--client")?;
+    let body = submit_body(&mut args)?;
+    if let Some(stray) = args.first() {
+        return Err(format!("submit: unexpected argument `{stray}`"));
+    }
+    let resp = serve::submit_once(&endpoint, &serve::Request { id: 1, client, body })?;
+    match resp.event.as_str() {
+        "done" => {
+            if resp.cached == Some(true) {
+                eprintln!("mio submit: served from warm state (cache/coalesce)");
+            }
+            match resp.result {
+                Some(serde::Value::Null) | None => {
+                    eprintln!("mio submit: ok");
+                }
+                Some(value) => {
+                    // Same bytes as `repro-sim --json`: pretty-printed,
+                    // no trailing newline, so CI can `cmp` the files.
+                    let text = serde_json::to_string_pretty(&value)
+                        .map_err(|e| format!("serialize result: {e}"))?;
+                    match json.as_deref() {
+                        None | Some("-") => println!("{text}"),
+                        Some(path) => {
+                            std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+                            eprintln!("wrote {path}");
+                        }
+                    }
+                }
+            }
+            Ok(())
+        }
+        "error" => Err(resp.error.unwrap_or_else(|| "server reported an error".into())),
+        other => Err(format!("unexpected terminal event `{other}`")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -316,5 +485,50 @@ mod tests {
         assert!(run(&argv("bogus")).is_err());
         assert!(run(&argv("help")).is_ok());
         assert!(run(&argv("apps")).is_ok());
+    }
+
+    #[test]
+    fn take_endpoint_requires_exactly_one_transport() {
+        assert!(take_endpoint(&mut argv("--workers 2")).is_err());
+        assert!(take_endpoint(&mut argv("--socket a.sock --tcp 127.0.0.1:1")).is_err());
+        assert_eq!(
+            take_endpoint(&mut argv("--socket a.sock")).unwrap(),
+            serve::Endpoint::Unix("a.sock".into())
+        );
+        assert_eq!(
+            take_endpoint(&mut argv("--tcp 127.0.0.1:7070")).unwrap(),
+            serve::Endpoint::Tcp("127.0.0.1:7070".into())
+        );
+    }
+
+    #[test]
+    fn submit_body_matches_the_one_shot_binaries() {
+        // --quick must land on repro-sim's Scale(8); campaign defaults
+        // must be CampaignSpec::datacenter's (scale 16, seed 42).
+        let body = submit_body(&mut argv("--fig8-point 32:4096 --quick")).unwrap();
+        assert_eq!(
+            body,
+            serve::RequestBody::Fig8Point(serve::Fig8PointSpec {
+                cache_mb: 32,
+                block: 4096,
+                scale: 8,
+                seed: 42,
+            })
+        );
+        let body = submit_body(&mut argv("--campaign 24x16 --shards 4")).unwrap();
+        assert_eq!(
+            body,
+            serve::RequestBody::Campaign(serve::CampaignPointSpec::datacenter(24, 16, 4))
+        );
+        assert_eq!(submit_body(&mut argv("--stats")).unwrap(), serve::RequestBody::Stats);
+        assert_eq!(submit_body(&mut argv("--shutdown")).unwrap(), serve::RequestBody::Shutdown);
+    }
+
+    #[test]
+    fn submit_body_rejects_ambiguous_or_missing_requests() {
+        assert!(submit_body(&mut argv("")).is_err());
+        assert!(submit_body(&mut argv("--stats --shutdown")).is_err());
+        assert!(submit_body(&mut argv("--fig8-point 32x4096")).is_err());
+        assert!(submit_body(&mut argv("--campaign 24:16")).is_err());
     }
 }
