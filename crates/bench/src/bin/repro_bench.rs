@@ -196,6 +196,55 @@ struct ServeBenchSummary {
     /// Whether every served response was byte-identical to its one-shot
     /// run at worker counts 1 and 4. Gated: must be true.
     responses_identical: bool,
+    /// Per-request-type latency percentiles from the warm engine's own
+    /// Prometheus exposition, taken right after the sustained-RPS
+    /// stream. Wall-clock seconds (log₂-bucket upper edges), purely
+    /// informational — never gated, and absent in older reports.
+    latency: Option<Vec<ServeTypeLatency>>,
+}
+
+/// One request type's queue-wait / service-time percentiles, parsed
+/// from `serve_*_seconds_p50/p99` in the engine's exposition.
+#[derive(Debug, Serialize, Deserialize)]
+struct ServeTypeLatency {
+    /// `type` label on the serve histograms (`fig8_point`, `campaign`).
+    req_type: String,
+    /// Executions the worker pool completed for this type.
+    completed: u64,
+    /// p50 queue wait, seconds.
+    queue_wait_p50_s: f64,
+    /// p99 queue wait, seconds.
+    queue_wait_p99_s: f64,
+    /// p50 service time, seconds.
+    service_p50_s: f64,
+    /// p99 service time, seconds.
+    service_p99_s: f64,
+}
+
+/// Read the warm engine's RED percentiles back through the same text
+/// exposition `mio stats --prom` serves, exercising the round-trip
+/// parser on a live registry.
+fn serve_latency(engine: &Engine) -> Vec<ServeTypeLatency> {
+    let samples = obs::metrics::parse_exposition(&engine.prometheus_text()).unwrap_or_default();
+    let get = |name: &str, ty: &str| {
+        samples
+            .iter()
+            .find(|s| {
+                s.name == name && s.labels.iter().any(|(k, v)| k == "type" && v == ty)
+            })
+            .map_or(0.0, |s| s.value)
+    };
+    ["fig8_point", "campaign"]
+        .iter()
+        .map(|&ty| ServeTypeLatency {
+            req_type: ty.to_string(),
+            completed: get("serve_service_time_seconds_count", ty) as u64,
+            queue_wait_p50_s: get("serve_queue_wait_seconds_p50", ty),
+            queue_wait_p99_s: get("serve_queue_wait_seconds_p99", ty),
+            service_p50_s: get("serve_service_time_seconds_p50", ty),
+            service_p99_s: get("serve_service_time_seconds_p99", ty),
+        })
+        .collect()
 }
 
 /// The whole `BENCH_sim.json` document.
@@ -683,6 +732,7 @@ fn measure_serve(scale: Scale, seed: u64) -> (SweepTiming, SweepTiming, ServeBen
         drive_engine(&engine, &pool, &stream);
         stream.len() as u64
     });
+    let latency = serve_latency(&engine);
     drop(engine);
 
     // Cold baseline: the same stream at the same parallelism, but every
@@ -707,6 +757,7 @@ fn measure_serve(scale: Scale, seed: u64) -> (SweepTiming, SweepTiming, ServeBen
         },
         duplicate_ratio: dup,
         responses_identical,
+        latency: Some(latency),
     };
     (warm, cold, summary)
 }
@@ -799,6 +850,10 @@ fn compare_baseline(report: &BenchReport, base: &BenchReport) -> Vec<String> {
 
 fn main() -> ExitCode {
     let mut argv: Vec<String> = std::env::args().collect();
+    if let Err(msg) = obs::apply_timeline_flags(&mut argv) {
+        eprintln!("repro_bench: {msg}");
+        return ExitCode::FAILURE;
+    }
     if let Err(msg) = obs::apply_profile_capacity_flag(&mut argv) {
         eprintln!("repro_bench: {msg}");
         return ExitCode::FAILURE;
@@ -1033,6 +1088,7 @@ fn main() -> ExitCode {
     if let Some(path) = &profile {
         obs::finish_profile(path);
     }
+    obs::finish_timelines();
     if failed {
         return ExitCode::FAILURE;
     }

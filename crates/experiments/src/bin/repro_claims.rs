@@ -24,4 +24,5 @@ fn main() {
     if let Some(path) = &profile {
         obs::finish_profile(path);
     }
+    obs::finish_timelines();
 }

@@ -98,6 +98,7 @@ fn main() {
         if let Some(path) = &profile {
             obs::finish_profile(path);
         }
+        obs::finish_timelines();
         return;
     }
 
@@ -133,6 +134,7 @@ fn main() {
         if let Some(path) = &profile {
             obs::finish_profile(path);
         }
+        obs::finish_timelines();
         return;
     }
 
@@ -187,6 +189,7 @@ fn main() {
         if let Some(path) = &profile {
             obs::finish_profile(path);
         }
+        obs::finish_timelines();
         return;
     }
 
@@ -234,4 +237,5 @@ fn main() {
     if let Some(path) = &profile {
         obs::finish_profile(path);
     }
+    obs::finish_timelines();
 }

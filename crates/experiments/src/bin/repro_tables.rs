@@ -31,4 +31,5 @@ fn main() {
     if let Some(path) = &profile {
         obs::finish_profile(path);
     }
+    obs::finish_timelines();
 }

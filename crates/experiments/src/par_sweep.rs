@@ -194,10 +194,13 @@ pub fn apply_progress_flag(args: &mut Vec<String>) {
 /// `--threads N`, `--shards N`, `--trace-dir PATH`,
 /// `--trace-mem-budget MB` (both of which must run before the first
 /// trace-store access, which every repro main defers until after flag
-/// parsing), `--devices ERA`, `--progress`, `--profile-capacity N` (which must precede
-/// `--profile` so the ring is sized before recording can allocate it),
-/// then `--profile PATH`. Returns the profile output path to hand to
-/// [`obs::finish_profile`], or the first flag error.
+/// parsing), `--devices ERA`, `--progress`, `--timeline NS` /
+/// `--timeline-out PATH` (which must run before the first simulation is
+/// constructed), `--profile-capacity N` (which must precede `--profile`
+/// so the ring is sized before recording can allocate it), then
+/// `--profile PATH`. Returns the profile output path to hand to
+/// [`obs::finish_profile`], or the first flag error. Timeline output is
+/// written separately by [`obs::finish_timelines`].
 pub fn apply_standard_flags(args: &mut Vec<String>) -> Result<Option<String>, String> {
     apply_threads_flag(args)?;
     apply_shards_flag(args)?;
@@ -205,6 +208,7 @@ pub fn apply_standard_flags(args: &mut Vec<String>) -> Result<Option<String>, St
     apply_trace_mem_budget_flag(args)?;
     apply_devices_flag(args)?;
     apply_progress_flag(args);
+    obs::apply_timeline_flags(args)?;
     obs::apply_profile_capacity_flag(args)?;
     obs::apply_profile_flag(args)
 }

@@ -27,9 +27,11 @@
 //! a dependency cycle.
 
 pub mod counters;
+pub mod metrics;
 pub mod perfetto;
 pub mod profile;
 pub mod recorder;
+pub mod timeline;
 
 pub use counters::{CacheCounters, DiskCounters, ObsReport, SchedCounters};
 pub use perfetto::{chrome_trace_json, export_chrome_trace, ExportSummary};
@@ -38,6 +40,7 @@ pub use profile::{
     next_sweep_id, sim_events_total,
 };
 pub use recorder::{
-    complete, configured_capacity, enabled, host_now_ns, init, instant, register_track, reset,
-    set_enabled, summary, Domain, RecorderSummary, Track,
+    complete, configured_capacity, counter, enabled, host_now_ns, init, instant, register_track,
+    reset, set_enabled, summary, Domain, RecorderSummary, Track,
 };
+pub use timeline::{apply_timeline_flags, finish_timelines, Timeline, TimelineData};

@@ -1,0 +1,579 @@
+//! Host-side operational metrics for the serving layer: monotonic
+//! counters, gauges, and log-bucketed latency histograms with a
+//! Prometheus text exposition renderer.
+//!
+//! These measure the *service* (wall-clock queue waits, RED counters per
+//! client, cache hit rates), not the simulation — nothing here may feed
+//! into a `SimReport`, and nothing here is expected to be deterministic
+//! across runs. Metric handles are `Arc`s resolved once from the
+//! [`Registry`] and then updated with single relaxed atomic ops, so the
+//! per-request cost is a handful of uncontended `fetch_add`s.
+//!
+//! The exposition format follows the Prometheus text format v0.0.4:
+//! `# HELP` / `# TYPE` comment lines, `name{label="value"} sample`
+//! lines, and for histograms the `_bucket{le=…}` / `_sum` / `_count`
+//! triplet with cumulative buckets. [`parse_exposition`] is a minimal
+//! parser of the same dialect used by the round-trip tests in
+//! `crates/serve`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a float that can go up and down (stored as `f64` bits).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Set the current value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of log2 latency buckets: bucket `i` has upper edge `2^i` µs,
+/// so the range runs 1 µs … ~2 147 s with the last bucket catching
+/// everything above.
+pub const HIST_BUCKETS: usize = 32;
+
+/// Upper edge of bucket `i`, in microseconds.
+pub fn bucket_edge_us(i: usize) -> u64 {
+    1u64 << i.min(HIST_BUCKETS - 1)
+}
+
+/// A log-bucketed latency histogram (microsecond samples, power-of-two
+/// bucket edges). Lock-free: every field is a relaxed atomic.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one latency sample in microseconds.
+    pub fn record_us(&self, us: u64) {
+        let mut i = 0;
+        while i < HIST_BUCKETS - 1 && us > bucket_edge_us(i) {
+            i += 1;
+        }
+        self.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples, in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Upper bucket edge (µs) containing quantile `q` (0 < q ≤ 1);
+    /// 0 when empty. Resolution is the bucket width — good enough to
+    /// tell 100 µs from 10 ms, which is what an operator needs.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= target {
+                return bucket_edge_us(i);
+            }
+        }
+        bucket_edge_us(HIST_BUCKETS - 1)
+    }
+
+    fn bucket_counts(&self) -> [u64; HIST_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// What a family's samples are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Up-and-down float.
+    Gauge,
+    /// Log-bucketed latency histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    fn type_name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<LatencyHistogram>),
+}
+
+type Labels = Vec<(String, String)>;
+
+#[derive(Debug)]
+struct Family {
+    name: String,
+    help: String,
+    kind: MetricKind,
+    /// Label-set → metric, in creation order (deterministic render order
+    /// for a deterministic creation order).
+    metrics: Vec<(Labels, Metric)>,
+}
+
+/// A named collection of metric families, rendered together as one
+/// Prometheus exposition document. Lookup takes a mutex (call it at
+/// wiring time or at low request rates — the returned `Arc` handles are
+/// lock-free).
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+fn labels_of(labels: &[(&str, &str)]) -> Labels {
+    labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn get_or_create(
+        &self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let mut families = self.families.lock().expect("metrics registry lock");
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(f) => {
+                debug_assert_eq!(f.kind, kind, "metric family `{name}` re-registered as a different kind");
+                f
+            }
+            None => {
+                families.push(Family {
+                    name: name.to_string(),
+                    help: help.to_string(),
+                    kind,
+                    metrics: Vec::new(),
+                });
+                families.last_mut().expect("just pushed")
+            }
+        };
+        let wanted = labels_of(labels);
+        if let Some((_, m)) = family.metrics.iter().find(|(l, _)| *l == wanted) {
+            return m.clone();
+        }
+        let m = make();
+        family.metrics.push((wanted, m.clone()));
+        m
+    }
+
+    /// Get or create a counter in family `name` with the given labels.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.get_or_create(name, help, MetricKind::Counter, labels, || {
+            Metric::Counter(Arc::new(Counter::default()))
+        }) {
+            Metric::Counter(c) => c,
+            _ => panic!("metric family `{name}` is not a counter"),
+        }
+    }
+
+    /// Get or create a gauge in family `name` with the given labels.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.get_or_create(name, help, MetricKind::Gauge, labels, || {
+            Metric::Gauge(Arc::new(Gauge::default()))
+        }) {
+            Metric::Gauge(g) => g,
+            _ => panic!("metric family `{name}` is not a gauge"),
+        }
+    }
+
+    /// Get or create a latency histogram in family `name` with the given
+    /// labels.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<LatencyHistogram> {
+        match self.get_or_create(name, help, MetricKind::Histogram, labels, || {
+            Metric::Histogram(Arc::new(LatencyHistogram::default()))
+        }) {
+            Metric::Histogram(h) => h,
+            _ => panic!("metric family `{name}` is not a histogram"),
+        }
+    }
+
+    /// Render every family as Prometheus text exposition. Histograms
+    /// additionally render `{name}_p50` / `_p95` / `_p99` gauge families
+    /// (seconds) so operators get quantiles without a scrape-side
+    /// `histogram_quantile`.
+    pub fn render_prometheus(&self) -> String {
+        let families = self.families.lock().expect("metrics registry lock");
+        let mut out = String::with_capacity(2048);
+        for f in families.iter() {
+            render_comment(&mut out, &f.name, &f.help, f.kind.type_name());
+            for (labels, metric) in &f.metrics {
+                match metric {
+                    Metric::Counter(c) => {
+                        render_sample(&mut out, &f.name, labels, &[], &c.get().to_string());
+                    }
+                    Metric::Gauge(g) => {
+                        render_sample(&mut out, &f.name, labels, &[], &fmt_f64(g.get()));
+                    }
+                    Metric::Histogram(h) => {
+                        let counts = h.bucket_counts();
+                        let mut cum = 0u64;
+                        for (i, n) in counts.iter().enumerate() {
+                            cum += n;
+                            let le = fmt_f64(bucket_edge_us(i) as f64 / 1e6);
+                            render_sample(
+                                &mut out,
+                                &format!("{}_bucket", f.name),
+                                labels,
+                                &[("le", &le)],
+                                &cum.to_string(),
+                            );
+                        }
+                        render_sample(
+                            &mut out,
+                            &format!("{}_bucket", f.name),
+                            labels,
+                            &[("le", "+Inf")],
+                            &h.count().to_string(),
+                        );
+                        render_sample(
+                            &mut out,
+                            &format!("{}_sum", f.name),
+                            labels,
+                            &[],
+                            &fmt_f64(h.sum_us() as f64 / 1e6),
+                        );
+                        render_sample(
+                            &mut out,
+                            &format!("{}_count", f.name),
+                            labels,
+                            &[],
+                            &h.count().to_string(),
+                        );
+                    }
+                }
+            }
+        }
+        // Quantile gauges derived from the histograms, as their own
+        // families (a family's samples must share one TYPE).
+        for f in families.iter().filter(|f| f.kind == MetricKind::Histogram) {
+            for (q, suffix) in [(0.50, "p50"), (0.95, "p95"), (0.99, "p99")] {
+                let name = format!("{}_{suffix}", f.name);
+                render_comment(
+                    &mut out,
+                    &name,
+                    &format!("{suffix} of {} (bucket upper edge, seconds)", f.name),
+                    "gauge",
+                );
+                for (labels, metric) in &f.metrics {
+                    if let Metric::Histogram(h) = metric {
+                        let v = h.quantile_us(q) as f64 / 1e6;
+                        let v = if h.count() == 0 { 0.0 } else { v };
+                        render_sample(&mut out, &name, labels, &[], &fmt_f64(v));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else if v > 0.0 {
+        "+Inf".to_string()
+    } else {
+        "-Inf".to_string()
+    }
+}
+
+fn render_comment(out: &mut String, name: &str, help: &str, type_name: &str) {
+    out.push_str("# HELP ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(help);
+    out.push_str("\n# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(type_name);
+    out.push('\n');
+}
+
+fn render_sample(out: &mut String, name: &str, labels: &Labels, extra: &[(&str, &str)], value: &str) {
+    out.push_str(name);
+    if !labels.is_empty() || !extra.is_empty() {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).chain(extra.iter().copied()) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(k);
+            out.push_str("=\"");
+            for c in v.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+/// One parsed exposition sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Sample name (including any `_bucket`/`_sum`/`_count` suffix).
+    pub name: String,
+    /// Labels in source order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value (`+Inf`/`-Inf`/`NaN` parse to the matching floats).
+    pub value: f64,
+}
+
+/// Parse Prometheus text exposition into samples (comments and blank
+/// lines skipped). Errors on malformed lines — the round-trip tests use
+/// this to prove [`Registry::render_prometheus`] emits valid exposition.
+pub fn parse_exposition(text: &str) -> Result<Vec<Sample>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |what: &str| format!("line {}: {what}: `{line}`", lineno + 1);
+        let (name_labels, value) = match line.rfind(' ') {
+            Some(i) => (&line[..i], line[i + 1..].trim()),
+            None => return Err(err("missing value")),
+        };
+        let (name, labels) = match name_labels.find('{') {
+            None => (name_labels.trim(), Vec::new()),
+            Some(open) => {
+                let name = name_labels[..open].trim();
+                let rest = &name_labels[open + 1..];
+                let close = rest.rfind('}').ok_or_else(|| err("unterminated label set"))?;
+                (name, parse_labels(&rest[..close]).map_err(|e| err(&e))?)
+            }
+        };
+        if name.is_empty()
+            || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(err("bad metric name"));
+        }
+        let value = match value {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            v => v.parse::<f64>().map_err(|_| err("bad sample value"))?,
+        };
+        out.push(Sample { name: name.to_string(), labels, value });
+    }
+    Ok(out)
+}
+
+fn parse_labels(s: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut chars = s.chars().peekable();
+    loop {
+        while chars.peek() == Some(&',') || chars.peek() == Some(&' ') {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            return Ok(labels);
+        }
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("label `{key}` missing opening quote"));
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                None => return Err(format!("label `{key}` unterminated")),
+                Some('"') => break,
+                Some('\\') => match chars.next() {
+                    Some('"') => value.push('"'),
+                    Some('\\') => value.push('\\'),
+                    Some('n') => value.push('\n'),
+                    other => return Err(format!("bad escape {other:?} in label `{key}`")),
+                },
+                Some(c) => value.push(c),
+            }
+        }
+        labels.push((key.trim().to_string(), value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_and_lookup_identity() {
+        let r = Registry::new();
+        let a = r.counter("mio_requests_total", "requests", &[("client", "ci")]);
+        let b = r.counter("mio_requests_total", "requests", &[("client", "ci")]);
+        let other = r.counter("mio_requests_total", "requests", &[("client", "adhoc")]);
+        a.inc();
+        b.add(2);
+        other.inc();
+        assert_eq!(a.get(), 3, "same label set resolves to the same metric");
+        assert_eq!(other.get(), 1);
+        let g = r.gauge("mio_inflight", "inflight", &[]);
+        g.set(2.5);
+        assert_eq!(r.gauge("mio_inflight", "inflight", &[]).get(), 2.5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.5), 0, "empty histogram");
+        // 90 fast samples at ≤128 µs, 10 slow at ≤65 536 µs.
+        for _ in 0..90 {
+            h.record_us(100);
+        }
+        for _ in 0..10 {
+            h.record_us(50_000);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum_us(), 90 * 100 + 10 * 50_000);
+        assert_eq!(h.quantile_us(0.50), 128);
+        assert_eq!(h.quantile_us(0.90), 128);
+        assert_eq!(h.quantile_us(0.95), 65_536);
+        assert_eq!(h.quantile_us(0.99), 65_536);
+        // Edges: sample exactly on an edge stays in that bucket.
+        let edge = LatencyHistogram::default();
+        edge.record_us(128);
+        assert_eq!(edge.quantile_us(1.0), 128);
+        edge.record_us(129);
+        assert_eq!(edge.quantile_us(1.0), 256);
+    }
+
+    #[test]
+    fn render_parses_back_and_buckets_are_cumulative() {
+        let r = Registry::new();
+        r.counter("mio_requests_total", "total requests", &[("client", "a")]).add(7);
+        let h = r.histogram("mio_service_seconds", "service time", &[("type", "fig8_point")]);
+        h.record_us(100);
+        h.record_us(3_000);
+        h.record_us(3_000);
+        let text = r.render_prometheus();
+        let samples = parse_exposition(&text).expect("renderer emits valid exposition");
+        let get = |name: &str, label: (&str, &str)| -> Vec<&Sample> {
+            samples
+                .iter()
+                .filter(|s| {
+                    s.name == name
+                        && s.labels.iter().any(|(k, v)| (k.as_str(), v.as_str()) == label)
+                })
+                .collect()
+        };
+        assert_eq!(get("mio_requests_total", ("client", "a"))[0].value, 7.0);
+        let buckets = get("mio_service_seconds_bucket", ("type", "fig8_point"));
+        assert_eq!(buckets.len(), HIST_BUCKETS + 1, "all edges plus +Inf");
+        let mut prev = 0.0;
+        for b in &buckets {
+            assert!(b.value >= prev, "buckets must be cumulative");
+            prev = b.value;
+        }
+        let inf = buckets.last().expect("+Inf bucket");
+        assert_eq!(inf.labels.iter().find(|(k, _)| k == "le").map(|(_, v)| v.as_str()), Some("+Inf"));
+        let count = get("mio_service_seconds_count", ("type", "fig8_point"))[0].value;
+        assert_eq!(inf.value, count, "le=+Inf must equal _count");
+        assert_eq!(count, 3.0);
+        let sum = get("mio_service_seconds_sum", ("type", "fig8_point"))[0].value;
+        assert!((sum - 0.0061).abs() < 1e-9, "sum in seconds, got {sum}");
+        // Quantile gauges render in seconds off bucket edges.
+        let p99 = get("mio_service_seconds_p99", ("type", "fig8_point"))[0].value;
+        assert_eq!(p99, 4096.0 / 1e6);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_exposition("no_value_here").is_err());
+        assert!(parse_exposition("bad name 1").is_err());
+        assert!(parse_exposition("x{unterminated=\"} 1").is_err());
+        assert!(parse_exposition("x 12notanumber").is_err());
+        assert_eq!(parse_exposition("# just a comment\n\n").unwrap(), Vec::new());
+    }
+}

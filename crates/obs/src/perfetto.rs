@@ -42,7 +42,7 @@ fn pid(domain: Domain) -> u32 {
 
 /// Escape a string for a JSON string literal (track names are the only
 /// dynamic strings; event names are `&'static str` identifiers).
-fn escape_into(out: &mut String, s: &str) {
+pub(crate) fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -138,6 +138,18 @@ fn render(events: &[RawEvent], tracks: &[TrackInfo], dropped: u64) -> (String, E
                 ));
                 ts_into(&mut out, track.domain, ev.ts);
             }
+            Kind::Counter => {
+                // Perfetto renders one counter plot per (track, name);
+                // the sampled value arrives through the shared
+                // `args.value` tail below (counter emits never carry the
+                // NO_ARG sentinel).
+                out.push_str(&format!(
+                    "{{\"ph\":\"C\",\"pid\":{p},\"tid\":{tid},\"name\":\"{}\",\"cat\":\"{}\",\"ts\":",
+                    ev.name,
+                    cat(track.domain),
+                ));
+                ts_into(&mut out, track.domain, ev.ts);
+            }
         }
         if ev.arg != NO_ARG {
             out.push_str(&format!(",\"args\":{{\"value\":{}}}", ev.arg));
@@ -212,5 +224,132 @@ mod tests {
         assert!(json.trim_end().ends_with("]}"));
         // Byte-identical on re-render.
         assert_eq!(render(&events, &tracks, 5).0, json);
+    }
+
+    /// Parse a rendered document with the (stand-in) `serde_json` and
+    /// return the `traceEvents` array.
+    fn parse_events(json: &str) -> Vec<serde::Value> {
+        let v: serde::Value = serde_json::from_str(json).expect("exporter must emit valid JSON");
+        v.get("traceEvents")
+            .and_then(serde::Value::as_seq)
+            .expect("traceEvents array")
+            .to_vec()
+    }
+
+    fn str_field<'a>(ev: &'a serde::Value, key: &str) -> &'a str {
+        match ev.get(key) {
+            Some(serde::Value::Str(s)) => s,
+            other => panic!("field {key}: expected string, got {other:?}"),
+        }
+    }
+
+    fn u64_field(ev: &serde::Value, key: &str) -> u64 {
+        match ev.get(key) {
+            Some(serde::Value::U64(n)) => *n,
+            other => panic!("field {key}: expected u64, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn export_parses_and_counter_samples_are_time_sorted() {
+        let tracks = vec![
+            TrackInfo { name: "sim0:gauges".into(), domain: Domain::Sim },
+            TrackInfo { name: "sim0:venus#1".into(), domain: Domain::Sim },
+        ];
+        // Counter samples as the engine's timeline sampler emits them:
+        // grid order per gauge, interleaved across gauges.
+        let mut events = Vec::new();
+        for t in [100u64, 200, 300, 400] {
+            for (name, v) in [("cache_resident_blocks", t / 10), ("wheel_len", 7u64)] {
+                events.push(RawEvent {
+                    track: 0,
+                    kind: Kind::Counter,
+                    name,
+                    ts: t,
+                    dur: 0,
+                    arg: v,
+                });
+            }
+        }
+        events.push(RawEvent {
+            track: 1,
+            kind: Kind::Complete,
+            name: "run",
+            ts: 50,
+            dur: 500,
+            arg: NO_ARG,
+        });
+        let (json, summary) = render(&events, &tracks, 0);
+        assert_eq!(summary.events, 9);
+        let parsed = parse_events(&json);
+        // Every counter sample carries ph:"C", a value, and per
+        // (tid, name) the timestamps are nondecreasing.
+        let mut last_ts: Vec<((u64, String), u64)> = Vec::new();
+        let mut counters = 0;
+        for ev in parsed.iter().filter(|e| e.get("ph").is_some()) {
+            if str_field(ev, "ph") != "C" {
+                continue;
+            }
+            counters += 1;
+            let value = ev
+                .get("args")
+                .and_then(|a| a.get("value"))
+                .expect("counter sample must carry args.value");
+            assert!(matches!(value, serde::Value::U64(_)), "numeric value, got {value:?}");
+            let key = (u64_field(ev, "tid"), str_field(ev, "name").to_string());
+            let ts = u64_field(ev, "ts");
+            match last_ts.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, prev)) => {
+                    assert!(ts >= *prev, "counter track {key:?} not time-sorted");
+                    *prev = ts;
+                }
+                None => last_ts.push((key, ts)),
+            }
+        }
+        assert_eq!(counters, 8);
+        assert_eq!(last_ts.len(), 2, "one plot per (track, gauge name)");
+    }
+
+    #[test]
+    fn track_names_are_unique_per_pid() {
+        // The engine guarantees uniqueness by prefixing every track with
+        // its simulation id ("sim3:disk0") or worker id ("shard1");
+        // assert the rendered metadata preserves that: no two thread
+        // rows of one pid share a name or a tid.
+        let tracks = vec![
+            TrackInfo { name: "sim0:gauges".into(), domain: Domain::Sim },
+            TrackInfo { name: "sim0:venus#1".into(), domain: Domain::Sim },
+            TrackInfo { name: "sim0:disk0".into(), domain: Domain::Sim },
+            TrackInfo { name: "sim1:disk0".into(), domain: Domain::Sim },
+            TrackInfo { name: "shard0".into(), domain: Domain::Host },
+            TrackInfo { name: "shard1".into(), domain: Domain::Host },
+        ];
+        let (json, _) = render(&[], &tracks, 0);
+        let parsed = parse_events(&json);
+        let mut seen_names: Vec<(u64, String)> = Vec::new();
+        let mut seen_tids: Vec<(u64, u64)> = Vec::new();
+        for ev in &parsed {
+            if str_field(ev, "ph") != "M" || str_field(ev, "name") != "thread_name" {
+                continue;
+            }
+            let pid = u64_field(ev, "pid");
+            let tid = u64_field(ev, "tid");
+            let name = ev
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .map(|v| match v {
+                    serde::Value::Str(s) => s.clone(),
+                    other => panic!("thread name must be a string, got {other:?}"),
+                })
+                .expect("thread_name args.name");
+            assert!(
+                !seen_names.contains(&(pid, name.clone())),
+                "duplicate track name {name:?} in pid {pid}"
+            );
+            assert!(!seen_tids.contains(&(pid, tid)), "duplicate tid {tid} in pid {pid}");
+            seen_names.push((pid, name));
+            seen_tids.push((pid, tid));
+        }
+        assert_eq!(seen_names.len(), tracks.len());
     }
 }

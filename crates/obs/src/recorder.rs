@@ -53,6 +53,9 @@ pub(crate) enum Kind {
     Complete,
     /// A point-in-time marker (Chrome `ph:"i"`).
     Instant,
+    /// A counter-track sample (Chrome `ph:"C"`); the gauge value rides
+    /// in `arg`.
+    Counter,
 }
 
 /// One fixed-size recorded event. `ts`/`dur` are in the track's domain
@@ -257,6 +260,27 @@ pub fn complete(track: Track, name: &'static str, ts: u64, dur: u64, arg: Option
             ts,
             dur,
             arg: arg.unwrap_or(NO_ARG),
+        });
+    }
+}
+
+/// Record one sample on a counter track (a gauge value at an instant;
+/// rendered as a Perfetto counter, `ph:"C"`). `value` must not be
+/// `u64::MAX` (the internal no-argument sentinel) — gauge values are
+/// small counts, so this never bites in practice. No-op while disabled.
+#[inline]
+pub fn counter(track: Track, name: &'static str, ts: u64, value: u64) {
+    if !enabled() {
+        return;
+    }
+    if let Some(r) = RECORDER.get() {
+        r.emit(RawEvent {
+            track: track.0,
+            kind: Kind::Counter,
+            name,
+            ts,
+            dur: 0,
+            arg: value,
         });
     }
 }

@@ -106,20 +106,38 @@ impl std::fmt::Display for SubmitError {
     }
 }
 
+/// How long one execution spent queued and running, recorded by the
+/// worker and surfaced on every ticket sharing the flight (the server's
+/// per-request completion log line reports both).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlightTiming {
+    /// Enqueue → worker pickup.
+    pub queue_wait: Duration,
+    /// Worker pickup → result published.
+    pub service: Duration,
+}
+
 /// One execution, shared by every ticket coalesced onto it.
 #[derive(Debug)]
 struct Flight {
     done: Mutex<Option<Result<Arc<Value>, String>>>,
     cv: Condvar,
+    /// Set by the worker just before `complete`; stays `None` for
+    /// cache-hit flights (nothing ran) and abandoned jobs.
+    timing: Mutex<Option<FlightTiming>>,
 }
 
 impl Flight {
     fn new() -> Arc<Flight> {
-        Arc::new(Flight { done: Mutex::new(None), cv: Condvar::new() })
+        Arc::new(Flight { done: Mutex::new(None), cv: Condvar::new(), timing: Mutex::new(None) })
     }
 
     fn completed(value: Arc<Value>) -> Arc<Flight> {
-        Arc::new(Flight { done: Mutex::new(Some(Ok(value))), cv: Condvar::new() })
+        Arc::new(Flight {
+            done: Mutex::new(Some(Ok(value))),
+            cv: Condvar::new(),
+            timing: Mutex::new(None),
+        })
     }
 
     fn complete(&self, result: Result<Arc<Value>, String>) {
@@ -135,6 +153,9 @@ pub struct Ticket {
     /// Whether the result is shared rather than freshly computed for
     /// this ticket: a result-cache hit or a coalesced duplicate.
     pub cached: bool,
+    /// Whether the sharing was single-flight coalescing onto an
+    /// in-flight execution (as opposed to a completed result-cache hit).
+    pub coalesced: bool,
 }
 
 impl Ticket {
@@ -148,6 +169,13 @@ impl Ticket {
             }
             done = self.flight.cv.wait(done).expect("flight lock");
         }
+    }
+
+    /// Queue-wait and service durations of the execution that produced
+    /// this ticket's result, once resolved. `None` for cache hits (no
+    /// execution) and abandoned jobs.
+    pub fn timing(&self) -> Option<FlightTiming> {
+        *self.flight.timing.lock().expect("flight lock")
     }
 
     /// [`Ticket::wait`] bounded by `timeout`; `None` means still
@@ -177,6 +205,9 @@ struct Job {
     body: RequestBody,
     cost: u64,
     flight: Arc<Flight>,
+    /// When the job entered the queue; differenced at worker pickup
+    /// into the queue-wait histogram.
+    enqueued_at: Instant,
 }
 
 /// One client's DRR queue.
@@ -271,6 +302,112 @@ struct Counters {
     rejected_shutdown: AtomicU64,
 }
 
+/// Prometheus-facing RED metrics ([`obs::metrics`]). Wall-clock based —
+/// kept strictly out of [`Engine::stats_value`] and every result
+/// payload, which stay deterministic.
+struct ServeMetrics {
+    registry: obs::metrics::Registry,
+    /// Per request type (`fig8_point` / `campaign`): enqueue → pickup.
+    queue_wait: [Arc<obs::metrics::LatencyHistogram>; 2],
+    /// Per request type: pickup → result published.
+    service_time: [Arc<obs::metrics::LatencyHistogram>; 2],
+    cache_hits: Arc<obs::metrics::Counter>,
+    coalesced: Arc<obs::metrics::Counter>,
+    rejected: Arc<obs::metrics::Counter>,
+    completed: Arc<obs::metrics::Counter>,
+    hit_ratio: Arc<obs::metrics::Gauge>,
+    coalesce_ratio: Arc<obs::metrics::Gauge>,
+    inflight: Arc<obs::metrics::Gauge>,
+    queued: Arc<obs::metrics::Gauge>,
+}
+
+/// Histogram index of a runnable request type (also its `type` label).
+fn req_type(body: &RequestBody) -> (usize, &'static str) {
+    match body {
+        RequestBody::Campaign(_) => (1, "campaign"),
+        _ => (0, "fig8_point"),
+    }
+}
+
+impl ServeMetrics {
+    fn new() -> ServeMetrics {
+        let registry = obs::metrics::Registry::new();
+        let qw = |t: &str| {
+            registry.histogram(
+                "serve_queue_wait_seconds",
+                "Time a request spent queued before a worker picked it up",
+                &[("type", t)],
+            )
+        };
+        let st = |t: &str| {
+            registry.histogram(
+                "serve_service_time_seconds",
+                "Time a worker spent executing a request",
+                &[("type", t)],
+            )
+        };
+        ServeMetrics {
+            queue_wait: [qw("fig8_point"), qw("campaign")],
+            service_time: [st("fig8_point"), st("campaign")],
+            cache_hits: registry.counter(
+                "serve_result_cache_hits_total",
+                "Requests answered from the bounded result cache",
+                &[],
+            ),
+            coalesced: registry.counter(
+                "serve_coalesced_total",
+                "Requests coalesced onto an identical in-flight execution",
+                &[],
+            ),
+            rejected: registry.counter(
+                "serve_rejected_total",
+                "Requests refused by admission control or shutdown",
+                &[],
+            ),
+            completed: registry.counter(
+                "serve_completed_total",
+                "Executions finished by the worker pool",
+                &[],
+            ),
+            hit_ratio: registry.gauge(
+                "serve_result_cache_hit_ratio",
+                "cache hits / submissions since start",
+                &[],
+            ),
+            coalesce_ratio: registry.gauge(
+                "serve_singleflight_coalesce_ratio",
+                "coalesced submissions / submissions since start",
+                &[],
+            ),
+            inflight: registry.gauge(
+                "serve_inflight_jobs",
+                "Distinct jobs queued or running",
+                &[],
+            ),
+            queued: registry.gauge("serve_queued_jobs", "Jobs waiting for a worker", &[]),
+            registry,
+        }
+    }
+
+    /// Per-client RED counters, created on first use (label cardinality
+    /// = client names seen).
+    fn client_requests(&self, client: &str) -> Arc<obs::metrics::Counter> {
+        self.registry.counter(
+            "serve_requests_total",
+            "Requests submitted, by client",
+            &[("client", client)],
+        )
+    }
+
+    fn client_errors(&self, client: &str) -> Arc<obs::metrics::Counter> {
+        self.registry.counter(
+            "serve_errors_total",
+            "Requests refused or failed, by client",
+            &[("client", client)],
+        )
+    }
+}
+
 struct Inner {
     sched: Mutex<Sched>,
     /// Workers wait here for queued jobs.
@@ -280,6 +417,7 @@ struct Inner {
     store: TraceStore,
     cfg: EngineConfig,
     counters: Counters,
+    metrics: ServeMetrics,
     shutting_down: AtomicBool,
 }
 
@@ -309,6 +447,7 @@ impl Engine {
             store,
             cfg: cfg.clone(),
             counters: Counters::default(),
+            metrics: ServeMetrics::new(),
             shutting_down: AtomicBool::new(false),
         });
         let workers = (0..cfg.workers)
@@ -327,10 +466,17 @@ impl Engine {
     /// immediately — resolved already for a cache hit, pending
     /// otherwise.
     pub fn submit(&self, client: &str, body: &RequestBody) -> Result<Ticket, SubmitError> {
-        validate(body)?;
+        let m = &self.inner.metrics;
+        if let Err(e) = validate(body) {
+            m.client_errors(client).inc();
+            return Err(e);
+        }
         self.inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        m.client_requests(client).inc();
         if self.inner.shutting_down.load(Ordering::SeqCst) {
             self.inner.counters.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+            m.rejected.inc();
+            m.client_errors(client).inc();
             return Err(SubmitError::ShuttingDown);
         }
         let key = canonical_hash(body);
@@ -339,16 +485,20 @@ impl Engine {
         if let Some(v) = s.results.get(&key).cloned() {
             s.lru.touch(key);
             self.inner.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Ticket { flight: Flight::completed(v), cached: true });
+            m.cache_hits.inc();
+            return Ok(Ticket { flight: Flight::completed(v), cached: true, coalesced: false });
         }
         // Single-flight: coalesce onto an identical in-flight job.
         if let Some(flight) = s.flights.get(&key).cloned() {
             self.inner.counters.coalesced.fetch_add(1, Ordering::Relaxed);
-            return Ok(Ticket { flight, cached: true });
+            m.coalesced.inc();
+            return Ok(Ticket { flight, cached: true, coalesced: true });
         }
         // A genuinely new job: admission control applies.
         if s.inflight >= self.inner.cfg.max_inflight {
             self.inner.counters.rejected_full.fetch_add(1, Ordering::Relaxed);
+            m.rejected.inc();
+            m.client_errors(client).inc();
             return Err(SubmitError::QueueFull);
         }
         let flight = Flight::new();
@@ -356,11 +506,17 @@ impl Engine {
         s.inflight += 1;
         s.enqueue(
             client,
-            Arc::new(Job { key, body: body.clone(), cost: cost_of(body), flight: Arc::clone(&flight) }),
+            Arc::new(Job {
+                key,
+                body: body.clone(),
+                cost: cost_of(body),
+                flight: Arc::clone(&flight),
+                enqueued_at: Instant::now(),
+            }),
         );
         drop(s);
         self.inner.work_ready.notify_one();
-        Ok(Ticket { flight, cached: false })
+        Ok(Ticket { flight, cached: false, coalesced: false })
     }
 
     /// Stop accepting new submissions; queued and running work
@@ -424,6 +580,35 @@ impl Engine {
         self.inner.counters.completed.load(Ordering::Relaxed)
     }
 
+    /// The Prometheus text exposition of the engine's RED metrics — the
+    /// payload of the `Metrics` request and `mio stats --prom`.
+    /// Wall-clock based; unlike [`Engine::stats_value`] this output is
+    /// not deterministic and never feeds a result payload.
+    pub fn prometheus_text(&self) -> String {
+        let m = &self.inner.metrics;
+        let c = &self.inner.counters;
+        let submitted = c.submitted.load(Ordering::Relaxed);
+        let ratio = |n: u64| if submitted == 0 { 0.0 } else { n as f64 / submitted as f64 };
+        m.hit_ratio.set(ratio(c.cache_hits.load(Ordering::Relaxed)));
+        m.coalesce_ratio.set(ratio(c.coalesced.load(Ordering::Relaxed)));
+        {
+            let s = self.inner.sched.lock().expect("sched lock");
+            m.inflight.set(s.inflight as f64);
+            m.queued.set(s.queued() as f64);
+        }
+        m.registry.render_prometheus()
+    }
+
+    /// Mean observed service time for this request's type, in
+    /// microseconds — the server's progress heartbeats turn it into an
+    /// ETA. `None` until at least one execution of the type finished.
+    pub fn expected_service_us(&self, body: &RequestBody) -> Option<u64> {
+        let (ty, _) = req_type(body);
+        let h = &self.inner.metrics.service_time[ty];
+        let n = h.count();
+        (n > 0).then(|| h.sum_us() / n)
+    }
+
     /// Hard stop after a drain timeout: stop the workers picking up new
     /// jobs and resolve every still-queued ticket with an error so no
     /// waiter hangs. Running jobs still finish and publish normally.
@@ -468,7 +653,13 @@ fn worker_loop(inner: &Inner) {
                 s = inner.work_ready.wait(s).expect("sched lock");
             }
         };
+        let (ty, _) = req_type(&job.body);
+        let queue_wait = job.enqueued_at.elapsed();
+        inner.metrics.queue_wait[ty].record_us(queue_wait.as_micros() as u64);
+        let started = Instant::now();
         let value = Arc::new(execute(&inner.store, &job.body));
+        let service = started.elapsed();
+        inner.metrics.service_time[ty].record_us(service.as_micros() as u64);
         {
             let mut s = inner.sched.lock().expect("sched lock");
             s.flights.remove(&job.key);
@@ -476,7 +667,10 @@ fn worker_loop(inner: &Inner) {
             s.inflight -= 1;
         }
         inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+        inner.metrics.completed.inc();
         inner.drained.notify_all();
+        *job.flight.timing.lock().expect("flight lock") =
+            Some(FlightTiming { queue_wait, service });
         job.flight.complete(Ok(value));
     }
 }
@@ -487,7 +681,7 @@ fn cost_of(body: &RequestBody) -> u64 {
     match body {
         RequestBody::Fig8Point(_) => 1,
         RequestBody::Campaign(c) => ((c.groups * c.procs) as u64 / 64).max(1),
-        RequestBody::Stats | RequestBody::Shutdown => 1,
+        RequestBody::Stats | RequestBody::Metrics | RequestBody::Shutdown => 1,
     }
 }
 
@@ -512,8 +706,8 @@ fn validate(body: &RequestBody) -> Result<(), SubmitError> {
             }
             Ok(())
         }
-        RequestBody::Stats | RequestBody::Shutdown => {
-            bad("stats/shutdown are control requests, not pool work")
+        RequestBody::Stats | RequestBody::Metrics | RequestBody::Shutdown => {
+            bad("stats/metrics/shutdown are control requests, not pool work")
         }
     }
 }
@@ -540,7 +734,7 @@ pub fn execute(store: &TraceStore, body: &RequestBody) -> Value {
             spec.seed = c.seed;
             run_campaign_in(store, &spec, c.shards.max(1)).to_value()
         }
-        RequestBody::Stats | RequestBody::Shutdown => {
+        RequestBody::Stats | RequestBody::Metrics | RequestBody::Shutdown => {
             unreachable!("control requests never reach the pool")
         }
     }
@@ -641,6 +835,88 @@ mod tests {
         let zero_campaign = RequestBody::Campaign(CampaignPointSpec::datacenter(0, 4, 1));
         assert!(matches!(engine.submit("a", &zero_campaign), Err(SubmitError::Invalid(_))));
         assert!(matches!(engine.submit("a", &RequestBody::Stats), Err(SubmitError::Invalid(_))));
+    }
+
+    #[test]
+    fn prometheus_exposition_round_trips_for_a_known_sequence() {
+        use obs::metrics::parse_exposition;
+        let engine = quick_engine(2, 16);
+        // Known sequence: two distinct fig8 points computed, one repeat
+        // (cache hit), one refused as invalid.
+        engine.submit("alice", &point(8)).expect("admitted").wait().expect("runs");
+        engine.submit("bob", &point(16)).expect("admitted").wait().expect("runs");
+        let hit = engine.submit("alice", &point(8)).expect("cache hit");
+        assert!(hit.cached && !hit.coalesced);
+        assert!(hit.timing().is_none(), "a cache hit ran nothing");
+        let zero = RequestBody::Fig8Point(Fig8PointSpec { cache_mb: 0, block: 4096, scale: 8, seed: 1 });
+        assert!(engine.submit("bob", &zero).is_err());
+
+        let text = engine.prometheus_text();
+        let samples = parse_exposition(&text).expect("valid Prometheus text");
+        let get = |name: &str, label: Option<(&str, &str)>| -> f64 {
+            samples
+                .iter()
+                .find(|s| {
+                    s.name == name
+                        && label
+                            .map(|(k, v)| s.labels.iter().any(|(lk, lv)| lk == k && lv == v))
+                            .unwrap_or(true)
+                })
+                .unwrap_or_else(|| panic!("sample {name} {label:?} in:\n{text}"))
+                .value
+        };
+        assert_eq!(get("serve_requests_total", Some(("client", "alice"))), 2.0);
+        assert_eq!(get("serve_requests_total", Some(("client", "bob"))), 1.0);
+        assert_eq!(get("serve_errors_total", Some(("client", "bob"))), 1.0);
+        assert_eq!(get("serve_result_cache_hits_total", None), 1.0);
+        assert_eq!(get("serve_completed_total", None), 2.0);
+        assert_eq!(get("serve_inflight_jobs", None), 0.0);
+        assert!((get("serve_result_cache_hit_ratio", None) - 1.0 / 3.0).abs() < 1e-9);
+
+        // Histograms: two executions recorded per type bucket family,
+        // cumulative buckets end at +Inf == _count, and the quantile
+        // gauges exist in seconds.
+        for family in ["serve_queue_wait_seconds", "serve_service_time_seconds"] {
+            let count = get(&format!("{family}_count"), Some(("type", "fig8_point")));
+            assert_eq!(count, 2.0, "{family} counted both executions");
+            let inf = samples
+                .iter()
+                .find(|s| {
+                    s.name == format!("{family}_bucket")
+                        && s.labels.iter().any(|(k, v)| k == "le" && v == "+Inf")
+                        && s.labels.iter().any(|(k, v)| k == "type" && v == "fig8_point")
+                })
+                .expect("+Inf bucket");
+            assert_eq!(inf.value, count, "+Inf bucket equals _count");
+            let buckets: Vec<f64> = samples
+                .iter()
+                .filter(|s| {
+                    s.name == format!("{family}_bucket")
+                        && s.labels.iter().any(|(k, v)| k == "type" && v == "fig8_point")
+                })
+                .map(|s| s.value)
+                .collect();
+            assert!(buckets.windows(2).all(|w| w[1] >= w[0]), "cumulative: {buckets:?}");
+            assert!(get(&format!("{family}_p99"), Some(("type", "fig8_point"))) >= 0.0);
+        }
+        // The campaign family exists but is empty so far.
+        assert_eq!(get("serve_service_time_seconds_count", Some(("type", "campaign"))), 0.0);
+        assert!(engine.expected_service_us(&point(8)).expect("history") > 0);
+        assert!(engine
+            .expected_service_us(&RequestBody::Campaign(CampaignPointSpec::datacenter(4, 4, 1)))
+            .is_none());
+    }
+
+    #[test]
+    fn coalesced_tickets_share_the_flight_timing() {
+        let engine = quick_engine(0, 16); // no workers yet: stays queued
+        let a = engine.submit("a", &point(12)).expect("admitted");
+        let b = engine.submit("b", &point(12)).expect("coalesced");
+        assert!(b.coalesced && b.cached && !a.coalesced);
+        assert!(a.timing().is_none(), "not run yet");
+        drop(engine);
+        assert!(a.wait().is_err());
+        assert!(b.timing().is_none(), "abandoned jobs never ran");
     }
 
     #[test]

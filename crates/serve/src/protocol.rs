@@ -27,8 +27,12 @@ pub enum RequestBody {
     /// A sharded datacenter campaign, equivalent to
     /// `repro-sim --campaign GROUPSxPROCS --shards N`.
     Campaign(CampaignPointSpec),
-    /// Obs counters and engine statistics — the `/metrics` request.
+    /// Obs counters and engine statistics as deterministic JSON.
     Stats,
+    /// The engine's RED metrics as a Prometheus text exposition
+    /// (`mio stats --prom`). Answered inline like `Stats`; the payload
+    /// is a single `Value::Str` holding the exposition body.
+    Metrics,
     /// Begin graceful shutdown: drain in-flight work, refuse new
     /// requests, exit once drained.
     Shutdown,
@@ -101,27 +105,47 @@ pub struct Response {
     /// On `error`: what went wrong (`queue full`, `shutting down`, a
     /// parse failure...).
     pub error: Option<String>,
+    /// On `progress`: simulated events per second since the request was
+    /// accepted (whole-process rate, like the sweep heartbeat).
+    pub rate: Option<f64>,
+    /// On `progress`: estimated seconds to completion from the mean
+    /// observed service time of this request type; `None` when no
+    /// execution of the type has finished yet.
+    pub eta_secs: Option<u64>,
 }
 
 impl Response {
-    /// An `accepted` acknowledgement.
-    pub fn accepted(id: u64) -> Response {
-        Response { id, event: "accepted".into(), cached: None, result: None, error: None }
+    fn base(id: u64, event: &str) -> Response {
+        Response {
+            id,
+            event: event.into(),
+            cached: None,
+            result: None,
+            error: None,
+            rate: None,
+            eta_secs: None,
+        }
     }
 
-    /// A `progress` heartbeat.
-    pub fn progress(id: u64) -> Response {
-        Response { id, event: "progress".into(), cached: None, result: None, error: None }
+    /// An `accepted` acknowledgement.
+    pub fn accepted(id: u64) -> Response {
+        Response::base(id, "accepted")
+    }
+
+    /// A `progress` heartbeat carrying the current simulated-event rate
+    /// and (when service-time history exists) an ETA.
+    pub fn progress(id: u64, rate: f64, eta_secs: Option<u64>) -> Response {
+        Response { rate: Some(rate), eta_secs, ..Response::base(id, "progress") }
     }
 
     /// A terminal `done` line carrying the report.
     pub fn done(id: u64, result: Value, cached: bool) -> Response {
-        Response { id, event: "done".into(), cached: Some(cached), result: Some(result), error: None }
+        Response { cached: Some(cached), result: Some(result), ..Response::base(id, "done") }
     }
 
     /// A terminal `error` line.
     pub fn error(id: u64, msg: impl Into<String>) -> Response {
-        Response { id, event: "error".into(), cached: None, result: None, error: Some(msg.into()) }
+        Response { error: Some(msg.into()), ..Response::base(id, "error") }
     }
 }
 
@@ -149,7 +173,7 @@ mod tests {
 
     #[test]
     fn unit_variants_roundtrip() {
-        for body in [RequestBody::Stats, RequestBody::Shutdown] {
+        for body in [RequestBody::Stats, RequestBody::Metrics, RequestBody::Shutdown] {
             let line = serde_json::to_string(&body).expect("serialize");
             let back: RequestBody = serde_json::from_str(&line).expect("parse");
             assert_eq!(back, body);

@@ -284,6 +284,9 @@ fn handle_request(
         RequestBody::Stats => {
             write_response(writer, &Response::done(id, engine.stats_value(), false));
         }
+        RequestBody::Metrics => {
+            write_response(writer, &Response::done(id, Value::Str(engine.prometheus_text()), false));
+        }
         RequestBody::Shutdown => {
             write_response(writer, &Response::done(id, Value::Null, false));
             request_shutdown();
@@ -296,35 +299,90 @@ fn handle_request(
             match engine.submit(&client, &req.body) {
                 Ok(ticket) => {
                     write_response(writer, &Response::accepted(id));
+                    let expected_us = engine.expected_service_us(&req.body);
                     let writer = Arc::clone(writer);
                     waiters.push(
                         std::thread::Builder::new()
                             .name(format!("serve-wait{id}"))
-                            .spawn(move || stream_result(id, &ticket, &writer))
+                            .spawn(move || {
+                                stream_result(id, &client, &ticket, expected_us, &writer)
+                            })
                             .expect("spawn waiter thread"),
                     );
                 }
-                Err(e) => write_response(writer, &Response::error(id, e.to_string())),
+                Err(e) => {
+                    eprintln!(
+                        "serve: request id={id} client={client} disposition=rejected \
+                         error=\"{e}\""
+                    );
+                    write_response(writer, &Response::error(id, e.to_string()));
+                }
             }
         }
     }
 }
 
 /// Emit progress heartbeats until the ticket resolves, then the
-/// terminal line.
-fn stream_result(id: u64, ticket: &Ticket, writer: &SharedWriter) {
+/// terminal line plus one structured key=value completion log line.
+fn stream_result(
+    id: u64,
+    client: &str,
+    ticket: &Ticket,
+    expected_us: Option<u64>,
+    writer: &SharedWriter,
+) {
+    let accepted = std::time::Instant::now();
+    let ev0 = obs::sim_events_total();
     loop {
         match ticket.wait_timeout(PROGRESS_INTERVAL) {
             Some(Ok(value)) => {
                 write_response(writer, &Response::done(id, value.as_ref().clone(), ticket.cached));
+                log_completion(id, client, ticket, accepted.elapsed(), "done");
                 return;
             }
             Some(Err(e)) => {
                 write_response(writer, &Response::error(id, e));
+                log_completion(id, client, ticket, accepted.elapsed(), "error");
                 return;
             }
-            None => write_response(writer, &Response::progress(id)),
+            None => {
+                let elapsed = accepted.elapsed();
+                let rate =
+                    obs::sim_events_total().saturating_sub(ev0) as f64 / elapsed.as_secs_f64();
+                // ETA from the mean service time of this request type;
+                // None until the engine has history for it.
+                let eta = expected_us
+                    .map(|us| Duration::from_micros(us).saturating_sub(elapsed).as_secs());
+                write_response(writer, &Response::progress(id, rate, eta));
+            }
         }
+    }
+}
+
+/// One key=value line per completed request: correlation id, client,
+/// how the result was obtained, and where its time went. Queue/service
+/// durations come from the execution that produced the result, so a
+/// coalesced ticket reports the shared flight's numbers; a cache hit
+/// (no execution) reports none.
+fn log_completion(id: u64, client: &str, ticket: &Ticket, total: Duration, outcome: &str) {
+    let disposition = match (ticket.cached, ticket.coalesced) {
+        (true, true) => "coalesced",
+        (true, false) => "cache_hit",
+        _ => "computed",
+    };
+    match ticket.timing() {
+        Some(t) => eprintln!(
+            "serve: request id={id} client={client} disposition={disposition} \
+             outcome={outcome} queue_wait_us={} service_us={} total_us={}",
+            t.queue_wait.as_micros(),
+            t.service.as_micros(),
+            total.as_micros(),
+        ),
+        None => eprintln!(
+            "serve: request id={id} client={client} disposition={disposition} \
+             outcome={outcome} total_us={}",
+            total.as_micros(),
+        ),
     }
 }
 
@@ -377,8 +435,19 @@ pub fn submit_once(endpoint: &Endpoint, req: &Request) -> Result<Response, Strin
         match resp.event.as_str() {
             "accepted" => {}
             "progress" => {
+                // Same shape as the sweep heartbeat:
+                // `[sweep] 3/9 points | 1.24M ev/s | ETA 4s`.
                 if experiments::progress_enabled() {
-                    eprintln!("mio submit: request {} still running", req.id);
+                    let rate = resp.rate.unwrap_or(0.0);
+                    let eta = match resp.eta_secs {
+                        Some(s) => format!("{s}s"),
+                        None => "?".into(),
+                    };
+                    eprintln!(
+                        "[submit] request {} | {:.2}M ev/s | ETA {eta}",
+                        req.id,
+                        rate / 1e6
+                    );
                 }
             }
             _ => return Ok(resp),

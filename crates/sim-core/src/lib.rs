@@ -29,4 +29,4 @@ pub use epoch::EpochClock;
 pub use event::{EventQueue, QueueStats, Scheduled};
 pub use rng::SimRng;
 pub use stats::{Autocorrelation, Histogram, RateSeries, StreamingStats};
-pub use time::{SimDuration, SimTime, TICKS_PER_SECOND, TICK_MICROS};
+pub use time::{SimDuration, SimTime, TICKS_PER_SECOND, TICK_MICROS, TICK_NANOS};

@@ -12,6 +12,11 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// Number of microseconds represented by one tick.
 pub const TICK_MICROS: u64 = 10;
 
+/// Number of nanoseconds represented by one tick (10 000). Interval
+/// flags specified in nanoseconds (e.g. `--timeline`) divide by this to
+/// land on the tick grid.
+pub const TICK_NANOS: u64 = TICK_MICROS * 1_000;
+
 /// Number of ticks in one second (100 000).
 pub const TICKS_PER_SECOND: u64 = 1_000_000 / TICK_MICROS;
 

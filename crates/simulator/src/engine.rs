@@ -208,6 +208,17 @@ pub struct Simulation {
     cluster: bool,
     outbox: Vec<Stamped>,
     msg_seq: u64,
+    // Temporal telemetry: a deterministic periodic gauge sampler, enabled
+    // by `--timeline`/`MILLER_TIMELINE`. Samples are taken between event
+    // pops (state is constant there), never through the event queue —
+    // wheel stats are part of the report, so a timer event would perturb
+    // results. Boxed: ~all runs leave it `None`.
+    timeline: Option<Box<obs::timeline::Timeline>>,
+    /// Previous cumulative busy ticks per disk, differenced into a
+    /// windowed busy fraction at each gather.
+    timeline_prev_busy: Vec<u64>,
+    /// Tick of the previous gather (the busy-fraction window start).
+    timeline_last_gather: u64,
 }
 
 impl Simulation {
@@ -254,6 +265,9 @@ impl Simulation {
             cluster: false,
             outbox: Vec::new(),
             msg_seq: 0,
+            timeline: None,
+            timeline_prev_busy: Vec::new(),
+            timeline_last_gather: 0,
             config,
         }
     }
@@ -680,13 +694,80 @@ impl Simulation {
         // The hot loop stays on the plain `pop` path; chunked sharded
         // advancement uses [`Simulation::advance_until`] instead.
         while let Some((now, ev)) = self.queue.pop() {
+            if self.timeline_due(now) {
+                self.sample_timeline(now);
+            }
             if self.handle_event(now, ev) {
                 // Processes finished; any remaining flush traffic is
                 // accounted in `finalize` without extending the run.
                 break;
             }
         }
+        if let Some(tl) = self.take_timeline() {
+            obs::timeline::publish(tl);
+        }
         self.finalize()
+    }
+
+    /// Whether a gauge sample is owed at or before `now`. Kept trivially
+    /// inlinable so the run loop pays one branch when timelines are off.
+    #[inline(always)]
+    fn timeline_due(&self, now: SimTime) -> bool {
+        match &self.timeline {
+            Some(tl) => tl.due(now.ticks()),
+            None => false,
+        }
+    }
+
+    /// Gather every gauge into the timeline scratch row and commit all
+    /// grid points up to `now`. Called between event pops, where no state
+    /// changes — repeating the row across a gap is exact, not an
+    /// approximation. Read-only and allocation-free by construction.
+    #[cold]
+    fn sample_timeline(&mut self, now: SimTime) {
+        let Some(mut tl) = self.timeline.take() else { return };
+        let now_tick = now.ticks();
+        let (resident, dirty) = self
+            .cache
+            .as_ref()
+            .map(|c| (c.resident_blocks(), c.dirty_bytes()))
+            .unwrap_or((0, 0));
+        tl.scratch[0] = resident;
+        tl.scratch[1] = dirty;
+        tl.scratch[2] = self.queue.len() as u64;
+        let running = (self.config.n_cpus - self.free_cpus) as u64;
+        tl.scratch[3] = self.ready.len() as u64 + running;
+        tl.scratch[4] =
+            self.procs.iter().filter(|p| p.state == ProcState::Blocked).count() as u64;
+        let window = now_tick.saturating_sub(self.timeline_last_gather).max(1);
+        let mut promotions = 0;
+        for (i, d) in self.disks.iter().enumerate() {
+            let g = d.gauges(now);
+            promotions += g.tier_promotions;
+            tl.scratch[6 + 2 * i] = g.queue_depth;
+            let busy = g.busy.ticks();
+            let delta = busy.saturating_sub(self.timeline_prev_busy[i]);
+            self.timeline_prev_busy[i] = busy;
+            tl.scratch[7 + 2 * i] = (delta * 1000 / window).min(1000);
+        }
+        tl.scratch[5] = promotions;
+        self.timeline_last_gather = now_tick;
+        tl.commit_until(now_tick);
+        self.timeline = Some(tl);
+    }
+
+    /// Take the finished timeline (if sampling was enabled), committing
+    /// any grid points left between the last event and the wall-clock
+    /// end. Called just before [`Simulation::finalize`] — single-node
+    /// runs publish the result directly, the sharded coordinator merges
+    /// per-group timelines first.
+    pub(crate) fn take_timeline(&mut self) -> Option<obs::timeline::TimelineData> {
+        if self.timeline.is_some() {
+            let end = self.wall_end;
+            self.sample_timeline(end);
+        }
+        let end_tick = self.wall_end.ticks();
+        self.timeline.take().map(|tl| tl.finish(end_tick))
     }
 
     /// Register observability tracks, seed the ready queue, and dispatch
@@ -695,6 +776,7 @@ impl Simulation {
     pub(crate) fn start(&mut self) {
         debug_assert!(!self.started, "start() called twice");
         self.started = true;
+        let mut gauge_track = None;
         if obs::enabled() {
             // One Perfetto row per simulated process and per disk. A
             // monotonic id keeps the rows of concurrent simulations (e.g.
@@ -708,6 +790,28 @@ impl Simulation {
             self.disk_tracks = (0..self.config.n_disks)
                 .map(|i| obs::register_track(obs::Domain::Sim, format!("sim{sim_id}:disk{i}")))
                 .collect();
+            gauge_track =
+                Some(obs::register_track(obs::Domain::Sim, format!("sim{sim_id}:gauges")));
+        }
+        if let Some(interval) = obs::timeline::configured_interval_ticks() {
+            let mut tl = Box::new(obs::timeline::Timeline::new(interval));
+            // Fixed series order; `sample_timeline` fills `scratch` by
+            // the same indices.
+            tl.add_series("cache_resident_blocks");
+            tl.add_series("cache_dirty_bytes");
+            tl.add_series("wheel_len");
+            tl.add_series("procs_runnable");
+            tl.add_series("procs_blocked");
+            tl.add_series("tier_promotions");
+            for i in 0..self.config.n_disks {
+                tl.add_series(obs::timeline::intern_name(&format!("disk{i}_depth")));
+                tl.add_series(obs::timeline::intern_name(&format!("disk{i}_busy_permille")));
+            }
+            if let Some(track) = gauge_track {
+                tl.set_track(track);
+            }
+            self.timeline = Some(tl);
+            self.timeline_prev_busy = vec![0; self.config.n_disks];
         }
         self.slice_info.resize(self.procs.len(), None);
         for slot in 0..self.procs.len() {
@@ -871,9 +975,18 @@ impl Simulation {
     pub(crate) fn advance_until(&mut self, limit: SimTime) {
         while !self.halted {
             let Some((now, ev)) = self.queue.pop_before(limit) else { break };
+            if self.timeline_due(now) {
+                self.sample_timeline(now);
+            }
             if self.handle_event(now, ev) {
                 self.halted = true;
             }
+        }
+        // Catch the grid up to the epoch barrier so every group commits
+        // the same barrier-aligned grid regardless of its own event
+        // times (a halted group's no-op rows are deterministic too).
+        if self.timeline_due(limit) {
+            self.sample_timeline(limit);
         }
     }
 

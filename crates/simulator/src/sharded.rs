@@ -401,8 +401,13 @@ impl ShardedSimulation {
             obs: obs::ObsReport::default(),
             groups: Vec::with_capacity(cfg.groups),
         };
+        let mut group_timelines = Vec::new();
         for cell in cells {
-            let r = cell.into_inner().expect("group lock").finalize();
+            let mut sim = cell.into_inner().expect("group lock");
+            if let Some(tl) = sim.take_timeline() {
+                group_timelines.push(tl);
+            }
+            let r = sim.finalize();
             let ios: u64 = r.processes.iter().map(|p| p.ios_issued).sum();
             report.wall_end = report.wall_end.max(r.wall_end);
             report.cpu_busy += r.cpu_busy;
@@ -423,6 +428,12 @@ impl ShardedSimulation {
                 cache: r.cache,
                 disk_totals: r.disk_totals,
             });
+        }
+        // One cluster-aggregate timeline per run: groups advance through
+        // the same barrier grid, so their series align; merge order is
+        // group order — deterministic at any shard count.
+        if let Some(tl) = obs::timeline::merge(group_timelines) {
+            obs::timeline::publish(tl);
         }
         report
     }

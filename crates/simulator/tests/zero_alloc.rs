@@ -138,4 +138,32 @@ fn steady_state_request_path_allocates_nothing() {
         b1 - b0,
         b2 - b1
     );
+
+    // Phase 3: timeline sampling on (1 ms grid — every run commits its
+    // full 4096-sample budget and then truncates arithmetically). Series
+    // storage is preallocated at start() and the gauge gather reads
+    // device state without mutating, so sampling must also add no
+    // per-event allocations. Setup costs (the per-run series vectors,
+    // interned disk names, the published TimelineData) are identical in
+    // the small and big runs and cancel in the differencing.
+    std::env::set_var("MILLER_TIMELINE", "1000000");
+    run(&small_r, &small_w);
+
+    let c0 = allocs();
+    run(&small_r, &small_w);
+    let c1 = allocs();
+    run(&big_r, &big_w);
+    let c2 = allocs();
+    std::env::remove_var("MILLER_TIMELINE");
+    assert!(!obs::timeline::drain().is_empty(), "sampling actually ran");
+
+    let extra_allocs_tl = (c2 - c1).saturating_sub(c1 - c0);
+    let per_event_tl = extra_allocs_tl as f64 / extra_events as f64;
+    assert!(
+        per_event_tl < 0.01,
+        "timeline sampling must be allocation-free: {extra_allocs_tl} extra allocations over \
+         {extra_events} extra events ({per_event_tl:.4}/event; small run {}, big run {})",
+        c1 - c0,
+        c2 - c1
+    );
 }

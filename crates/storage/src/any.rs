@@ -4,7 +4,7 @@
 //! on the hot path (no vtable, the paper-mode `DiskModel` arm inlines
 //! exactly as before) while configs pick the model at run time.
 
-use crate::device::{AccessKind, BlockDevice, DeviceStats};
+use crate::device::{AccessKind, BlockDevice, DeviceGauges, DeviceStats};
 use crate::disk::DiskModel;
 use crate::nvme::NvmeModel;
 use crate::tiered::TieredDevice;
@@ -84,6 +84,14 @@ impl BlockDevice for AnyDevice {
             AnyDevice::Disk(d) => d.stats(),
             AnyDevice::Nvme(d) => d.stats(),
             AnyDevice::Tiered(d) => d.stats(),
+        }
+    }
+
+    fn gauges(&self, now: SimTime) -> DeviceGauges {
+        match self {
+            AnyDevice::Disk(d) => d.gauges(now),
+            AnyDevice::Nvme(d) => d.gauges(now),
+            AnyDevice::Tiered(d) => d.gauges(now),
         }
     }
 }

@@ -81,6 +81,21 @@ impl DeviceStats {
     }
 }
 
+/// An instantaneous gauge snapshot of a device, read by the timeline
+/// sampler. Pure observation: computing it must not mutate the device
+/// (queue purges stay lazy) or allocate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceGauges {
+    /// Requests currently in flight or queued (still completing after
+    /// `now`).
+    pub queue_depth: u64,
+    /// Cumulative busy time (see [`DeviceStats::busy`]); the sampler
+    /// differences consecutive samples into a busy fraction.
+    pub busy: SimDuration,
+    /// Cumulative tier promotions (tiered hierarchy only; 0 elsewhere).
+    pub tier_promotions: u64,
+}
+
 /// Clamp a request extent to the device capacity.
 ///
 /// Workloads are expected to stay within the device — an overrun is a
@@ -127,6 +142,15 @@ pub trait BlockDevice {
 
     /// Accumulated accounting.
     fn stats(&self) -> &DeviceStats;
+
+    /// Instantaneous gauges at `now` for the timeline sampler. The
+    /// default suits non-queueing models: zero depth, cumulative busy.
+    /// Must be read-only and allocation-free — the sampler calls it
+    /// between event pops and must not perturb results.
+    fn gauges(&self, now: SimTime) -> DeviceGauges {
+        let _ = now;
+        DeviceGauges { queue_depth: 0, busy: self.stats().busy, tier_promotions: 0 }
+    }
 }
 
 #[cfg(test)]

@@ -17,7 +17,7 @@
 //! that amortizes the positioning stroke across the requests sharing a
 //! sweep.
 
-use crate::device::{clamp_extent, AccessKind, BlockDevice, DeviceStats};
+use crate::device::{clamp_extent, AccessKind, BlockDevice, DeviceGauges, DeviceStats};
 use serde::{Deserialize, Serialize};
 use sim_core::units::MB;
 use sim_core::{Histogram, SimDuration, SimTime};
@@ -316,6 +316,17 @@ impl BlockDevice for DiskModel {
 
     fn stats(&self) -> &DeviceStats {
         &self.stats
+    }
+
+    fn gauges(&self, now: SimTime) -> DeviceGauges {
+        DeviceGauges {
+            // `inflight` is purged lazily by `queued_service`; counting
+            // the entries still completing after `now` without mutating
+            // keeps the sampler invisible to results.
+            queue_depth: self.inflight.iter().filter(|&&t| t > now).count() as u64,
+            busy: self.stats.busy,
+            tier_promotions: 0,
+        }
     }
 }
 

@@ -38,7 +38,7 @@ pub mod tape;
 pub mod tiered;
 
 pub use any::AnyDevice;
-pub use device::{clamp_extent, AccessKind, BlockDevice, DeviceStats};
+pub use device::{clamp_extent, AccessKind, BlockDevice, DeviceGauges, DeviceStats};
 pub use disk::{DiskModel, DiskParams, DiskSched};
 pub use nvme::{NvmeModel, NvmeParams};
 pub use ssd::{SsdModel, SsdParams};

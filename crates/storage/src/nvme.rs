@@ -18,7 +18,7 @@
 //!   another on the "bus", so 64 simultaneous 1 MB reads drain at the
 //!   device rate, not 64× it.
 
-use crate::device::{clamp_extent, AccessKind, BlockDevice, DeviceStats};
+use crate::device::{clamp_extent, AccessKind, BlockDevice, DeviceGauges, DeviceStats};
 use crate::disk::queue_depth_histogram;
 use serde::{Deserialize, Serialize};
 use sim_core::units::GB;
@@ -184,6 +184,20 @@ impl BlockDevice for NvmeModel {
 
     fn stats(&self) -> &DeviceStats {
         &self.stats
+    }
+
+    fn gauges(&self, now: SimTime) -> DeviceGauges {
+        DeviceGauges {
+            // Commands are retired lazily on the next arrival; count the
+            // ones still completing after `now` without mutating.
+            queue_depth: self
+                .queues
+                .iter()
+                .map(|q| q.iter().filter(|&&t| t > now).count() as u64)
+                .sum(),
+            busy: self.stats.busy,
+            tier_promotions: 0,
+        }
     }
 }
 

@@ -20,7 +20,7 @@
 //! Eviction is demotion-free (the inclusive hierarchy means the slower
 //! copy already exists), so evictions only bump the demotion counter.
 
-use crate::device::{clamp_extent, AccessKind, BlockDevice, DeviceStats};
+use crate::device::{clamp_extent, AccessKind, BlockDevice, DeviceGauges, DeviceStats};
 use crate::disk::{DiskModel, DiskParams};
 use crate::nvme::{NvmeModel, NvmeParams};
 use crate::tape::{TapeModel, TapeParams};
@@ -298,6 +298,18 @@ impl BlockDevice for TieredDevice {
 
     fn stats(&self) -> &DeviceStats {
         &self.stats
+    }
+
+    fn gauges(&self, now: SimTime) -> DeviceGauges {
+        let ssd = self.ssd.gauges(now);
+        let disk = self.disk.gauges(now);
+        DeviceGauges {
+            queue_depth: ssd.queue_depth + disk.queue_depth,
+            // The hierarchy's own busy time already excludes inner queue
+            // wait, so it is the honest utilization gauge.
+            busy: self.stats.busy,
+            tier_promotions: self.promotions,
+        }
     }
 }
 

@@ -9,6 +9,7 @@
 //!              [--policy behind|through|sprite] [--no-readahead] [--cpus 1]
 //! mio serve --socket mio.sock [--workers N] ...    simulation-as-a-service
 //! mio submit --socket mio.sock --fig8-point 32:4096 [--json out.json]
+//! mio stats --socket mio.sock [--prom]             daemon metrics
 //! ```
 //!
 //! Traces are the paper's compressed ASCII format; `-` means stdout.
@@ -55,6 +56,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         Some(other) => Err(format!("unknown command `{other}`")),
     }
 }
@@ -76,6 +78,7 @@ USAGE:
              (--fig8-point MB:BLOCK [--quick] | --campaign GxP [--shards N]
               | --stats | --shutdown)
              [--scale K] [--seed N] [--client NAME] [--json FILE]
+  mio stats  (--socket PATH | --tcp ADDR) [--prom]
 ";
 
 /// Pull the value following `flag` out of `args`, if present.
@@ -449,6 +452,40 @@ fn cmd_submit(rest: &[String]) -> Result<(), String> {
     }
 }
 
+/// `mio stats`: fetch the daemon's statistics — deterministic JSON by
+/// default, or the Prometheus text exposition of its RED metrics with
+/// `--prom` (queue-wait and service-time histograms, per-client request
+/// counters, cache/coalesce ratios).
+fn cmd_stats(rest: &[String]) -> Result<(), String> {
+    let mut args = rest.to_vec();
+    let endpoint = take_endpoint(&mut args).map_err(|e| format!("stats: {e}"))?;
+    let prom = take_switch(&mut args, "--prom");
+    if let Some(stray) = args.first() {
+        return Err(format!("stats: unexpected argument `{stray}`"));
+    }
+    let body = if prom { serve::RequestBody::Metrics } else { serve::RequestBody::Stats };
+    let resp = serve::submit_once(&endpoint, &serve::Request { id: 1, client: None, body })?;
+    match resp.event.as_str() {
+        "done" => match resp.result {
+            // The Metrics payload is the exposition body itself; print
+            // it verbatim (it is newline-terminated).
+            Some(serde::Value::Str(text)) => {
+                print!("{text}");
+                Ok(())
+            }
+            Some(value) => {
+                let text = serde_json::to_string_pretty(&value)
+                    .map_err(|e| format!("serialize stats: {e}"))?;
+                println!("{text}");
+                Ok(())
+            }
+            None => Err("stats response carried no payload".into()),
+        },
+        "error" => Err(resp.error.unwrap_or_else(|| "server reported an error".into())),
+        other => Err(format!("unexpected terminal event `{other}`")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -485,6 +522,13 @@ mod tests {
         assert!(run(&argv("bogus")).is_err());
         assert!(run(&argv("help")).is_ok());
         assert!(run(&argv("apps")).is_ok());
+    }
+
+    #[test]
+    fn stats_requires_an_endpoint_and_rejects_strays() {
+        assert!(run(&argv("stats")).is_err());
+        assert!(run(&argv("stats --prom")).is_err());
+        assert!(run(&argv("stats --socket a.sock --bogus")).is_err());
     }
 
     #[test]
